@@ -1,0 +1,105 @@
+// Ablation studies for the design choices Section IV-F discusses and the
+// mechanisms DESIGN.md calls out. Not figures from the paper, but the
+// experiments behind its design narrative:
+//
+//   1. Snapshot mechanism: ArchRS (chosen) vs PhyRS (full PRF + RAT
+//      spills, "too much snapshot spilling") vs LRS (lazy spill, but the
+//      tagged rename table taxes every instruction).
+//   2. SPM throughput: how the 64B/cycle port of Table II affects overhead.
+//   3. Prefetchers: the "prefetching effect" that lets SeMPE approach (and
+//      against the standalone ideal, beat) the sum-of-paths bound.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+namespace {
+
+using namespace sempe;
+using sim::env_usize;
+using sim::measure_microbench;
+using sim::MicrobenchOptions;
+using workloads::Kind;
+
+MicrobenchOptions base_opts() {
+  MicrobenchOptions o;
+  o.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
+  return o;
+}
+
+void BM_SnapshotMechanism(benchmark::State& state) {
+  const auto w = static_cast<usize>(state.range(0));
+  sim::MicrobenchPoint arch, phy, lrs;
+  for (auto _ : state) {
+    MicrobenchOptions o = base_opts();
+    o.snapshot_model = cpu::SnapshotModel::kArchRS;
+    arch = measure_microbench(Kind::kOnes, w, o);
+    o.snapshot_model = cpu::SnapshotModel::kPhyRS;
+    phy = measure_microbench(Kind::kOnes, w, o);
+    o.snapshot_model = cpu::SnapshotModel::kLRS;
+    o.extra_front_end_depth = 1;  // the tagged-rename pipeline stage
+    o.rename_width_override = 4;  // tag-lookup ports halve rename bandwidth
+    lrs = measure_microbench(Kind::kOnes, w, o);
+  }
+  // Normalize every configuration's protected run against the SAME
+  // (ArchRS-machine) unprotected baseline: LRS's rename-table stage taxes
+  // the whole program — including code outside secure regions — which is
+  // exactly the paper's objection to it.
+  const double b = static_cast<double>(arch.baseline_cycles);
+  const double arch_x = static_cast<double>(arch.sempe_cycles) / b;
+  const double phy_x = static_cast<double>(phy.sempe_cycles) / b;
+  const double lrs_x = static_cast<double>(lrs.sempe_cycles) / b;
+  const double lrs_base_tax =
+      static_cast<double>(lrs.baseline_cycles) / b - 1.0;
+  state.counters["archrs_x"] = arch_x;
+  state.counters["phyrs_x"] = phy_x;
+  state.counters["lrs_x"] = lrs_x;
+  std::printf(
+      "Ablation/snapshot  W=%zu  ArchRS %5.2fx   PhyRS %5.2fx   LRS %5.2fx "
+      "(+%4.1f%% tax on unprotected code)\n",
+      w, arch_x, phy_x, lrs_x, lrs_base_tax * 100.0);
+}
+BENCHMARK(BM_SnapshotMechanism)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+void BM_SpmThroughput(benchmark::State& state) {
+  const u32 bytes_per_cycle = static_cast<u32>(state.range(0));
+  double slowdown = 0;
+  for (auto _ : state) {
+    MicrobenchOptions o = base_opts();
+    o.spm_bytes_per_cycle = bytes_per_cycle;
+    slowdown = measure_microbench(Kind::kFibonacci, 4, o).sempe_slowdown();
+  }
+  state.counters["sempe_x"] = slowdown;
+  std::printf("Ablation/spm  %3u B/cycle  SeMPE %5.2fx (fibonacci, W=4)\n",
+              bytes_per_cycle, slowdown);
+}
+BENCHMARK(BM_SpmThroughput)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+void BM_PrefetchingEffect(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  double vs_ideal = 0;
+  for (auto _ : state) {
+    MicrobenchOptions o = base_opts();
+    o.enable_prefetchers = enabled;
+    vs_ideal = measure_microbench(Kind::kOnes, 6, o)
+                   .sempe_vs_ideal_standalone();
+  }
+  state.counters["sempe_vs_ideal"] = vs_ideal;
+  std::printf("Ablation/prefetch  %s  SeMPE/ideal(standalone) = %.3f (ones, W=6)\n",
+              enabled ? "on " : "off", vs_ideal);
+}
+BENCHMARK(BM_PrefetchingEffect)
+    ->Arg(1)->Arg(0)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Figure 10a — execution time slowdown vs nesting depth W (x-axis, 1..10),
+// SeMPE (solid) vs CTE/FaCT (dashed), one series per microbenchmark,
+// log-scale y in the paper.
+//
+// Paper shape: SeMPE ~ W+1 (8.4-10.6x at W=10); CTE from 3-32x at W=1 up to
+// 12.9-187.3x at W=10; CTE/SeMPE ratio up to ~18x.
+//
+// SEMPE_BENCH_ITERS sets the iteration count per run (default 20).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+namespace {
+
+using sempe::sim::env_usize;
+using sempe::sim::measure_microbench;
+using sempe::sim::MicrobenchOptions;
+using sempe::workloads::Kind;
+using sempe::workloads::kind_name;
+
+void BM_Fig10a(benchmark::State& state) {
+  const auto kind = static_cast<Kind>(state.range(0));
+  const auto w = static_cast<sempe::usize>(state.range(1));
+  MicrobenchOptions opt;
+  opt.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
+  sempe::sim::MicrobenchPoint pt;
+  for (auto _ : state) pt = measure_microbench(kind, w, opt);
+
+  state.counters["sempe_x"] = pt.sempe_slowdown();
+  state.counters["cte_x"] = pt.cte_slowdown();
+  state.SetLabel(std::string(kind_name(kind)) + "/W=" + std::to_string(w));
+  std::printf("Fig10a  %-10s W=%2zu  SeMPE %6.2fx   CTE %7.2fx   (CTE/SeMPE %5.2fx)\n",
+              kind_name(kind), w, pt.sempe_slowdown(), pt.cte_slowdown(),
+              pt.cte_vs_sempe());
+}
+
+BENCHMARK(BM_Fig10a)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Figure 10b — average slowdown normalized to the ideal case.
+//
+// The ideal for removing SDBCB is the sum of the execution times of all
+// branch paths. Two operational definitions are reported:
+//   * standalone: each path costed in isolation ((W+1) x single-workload
+//     run) — the paper's definition; SeMPE beats it via the prefetching
+//     effect between paths (values < 1).
+//   * combined: all paths executed once within a single run (cross-path
+//     locality already included); SeMPE pays only drains/SPM on top
+//     (values slightly > 1).
+// CTE, by contrast, is far above ideal and grows with W.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+namespace {
+
+using sempe::sim::env_usize;
+using sempe::sim::measure_microbench;
+using sempe::sim::MicrobenchOptions;
+using sempe::workloads::Kind;
+
+void BM_Fig10b(benchmark::State& state) {
+  const auto w = static_cast<sempe::usize>(state.range(0));
+  MicrobenchOptions opt;
+  opt.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
+  double sempe_vs_standalone = 0, sempe_vs_combined = 0, cte_vs_standalone = 0;
+  int n = 0;
+  for (auto _ : state) {
+    for (Kind kd : {Kind::kFibonacci, Kind::kOnes, Kind::kQuicksort,
+                    Kind::kQueens}) {
+      const auto pt = measure_microbench(kd, w, opt);
+      sempe_vs_standalone += pt.sempe_vs_ideal_standalone();
+      sempe_vs_combined += pt.sempe_vs_ideal_combined();
+      cte_vs_standalone +=
+          sempe::sim::MicrobenchPoint::ratio(pt.cte_cycles,
+                                             pt.ideal_standalone_cycles);
+      ++n;
+    }
+  }
+  if (n > 0) {
+    sempe_vs_standalone /= n;
+    sempe_vs_combined /= n;
+    cte_vs_standalone /= n;
+  }
+  state.counters["sempe_vs_ideal_standalone"] = sempe_vs_standalone;
+  state.counters["sempe_vs_ideal_combined"] = sempe_vs_combined;
+  state.counters["cte_vs_ideal"] = cte_vs_standalone;
+  std::printf(
+      "Fig10b  W=%2zu  SeMPE/ideal(standalone) %5.2f   SeMPE/ideal(combined) "
+      "%5.2f   CTE/ideal %6.2f\n",
+      w, sempe_vs_standalone, sempe_vs_combined, cte_vs_standalone);
+}
+
+BENCHMARK(BM_Fig10b)
+    ->DenseRange(1, 10, 1)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

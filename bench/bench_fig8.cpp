@@ -1,0 +1,48 @@
+// Figure 8 — execution time overhead for libjpeg(-like) decompression with
+// different image output formats, varying input size.
+//
+// Paper shape: overheads between ~31% and ~87%; PPM > GIF > BMP; nearly
+// flat across image sizes (256k..2048k pixels).
+//
+// SEMPE_DJPEG_SCALE divides the pixel counts for simulation time
+// (default 8; set 1 for paper-sized images).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+namespace {
+
+using sempe::sim::env_usize;
+using sempe::sim::measure_djpeg;
+using sempe::workloads::format_name;
+using sempe::workloads::OutputFormat;
+
+constexpr sempe::usize kSizes[] = {256 * 1024, 512 * 1024, 1024 * 1024,
+                                   2048 * 1024};
+
+void BM_Fig8(benchmark::State& state) {
+  const auto fmt = static_cast<OutputFormat>(state.range(0));
+  const sempe::usize pixels = kSizes[state.range(1)];
+  const sempe::usize scale = env_usize("SEMPE_DJPEG_SCALE", 8);
+  double overhead = 0;
+  for (auto _ : state) {
+    const auto pt = measure_djpeg(fmt, pixels, scale);
+    overhead = pt.overhead();
+  }
+  state.counters["overhead_pct"] = overhead * 100.0;
+  state.SetLabel(std::string(format_name(fmt)) + "/" +
+                 std::to_string(pixels / 1024) + "k");
+  std::printf("Fig8  %-4s %5zuk  overhead = %5.1f%%\n", format_name(fmt),
+              pixels / 1024, overhead * 100.0);
+}
+
+BENCHMARK(BM_Fig8)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

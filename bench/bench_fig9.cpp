@@ -1,0 +1,54 @@
+// Figure 9 — cache miss rates (IL1 / DL1 / L2) for the djpeg workload:
+// baseline (dashed, left column) vs SeMPE (solid, right column), per output
+// format and image size.
+//
+// Paper shape: IL1 low and size-independent; DL1 low with SeMPE close to
+// baseline (ShadowMemory locality); L2 higher than DL1 overall.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+namespace {
+
+using sempe::sim::env_usize;
+using sempe::sim::measure_djpeg;
+using sempe::workloads::format_name;
+using sempe::workloads::OutputFormat;
+
+constexpr sempe::usize kSizes[] = {256 * 1024, 512 * 1024, 1024 * 1024,
+                                   2048 * 1024};
+
+void BM_Fig9(benchmark::State& state) {
+  const auto fmt = static_cast<OutputFormat>(state.range(0));
+  const sempe::usize pixels = kSizes[state.range(1)];
+  const sempe::usize scale = env_usize("SEMPE_DJPEG_SCALE", 8);
+  sempe::sim::DjpegPoint pt;
+  for (auto _ : state) pt = measure_djpeg(fmt, pixels, scale);
+
+  state.counters["il1_base"] = pt.baseline.il1_miss_rate() * 100;
+  state.counters["il1_sempe"] = pt.sempe.il1_miss_rate() * 100;
+  state.counters["dl1_base"] = pt.baseline.dl1_miss_rate() * 100;
+  state.counters["dl1_sempe"] = pt.sempe.dl1_miss_rate() * 100;
+  state.counters["l2_base"] = pt.baseline.l2_miss_rate() * 100;
+  state.counters["l2_sempe"] = pt.sempe.l2_miss_rate() * 100;
+  state.SetLabel(std::string(format_name(fmt)) + "/" +
+                 std::to_string(pixels / 1024) + "k");
+  std::printf(
+      "Fig9  %-4s %5zuk  IL1 %5.2f%%|%5.2f%%  DL1 %5.2f%%|%5.2f%%  "
+      "L2 %5.2f%%|%5.2f%%   (baseline|SeMPE)\n",
+      format_name(fmt), pixels / 1024, pt.baseline.il1_miss_rate() * 100,
+      pt.sempe.il1_miss_rate() * 100, pt.baseline.dl1_miss_rate() * 100,
+      pt.sempe.dl1_miss_rate() * 100, pt.baseline.l2_miss_rate() * 100,
+      pt.sempe.l2_miss_rate() * 100);
+}
+
+BENCHMARK(BM_Fig9)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

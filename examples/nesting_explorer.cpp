@@ -1,0 +1,53 @@
+// Explore the Fig. 7 microbenchmark interactively: pick a workload and a
+// nesting depth, see baseline / SeMPE / CTE cycles and the derived
+// slowdowns (one row of Fig. 10a).
+//
+//   build/examples/nesting_explorer [kind] [W] [iterations]
+//   kind: fibonacci | ones | quicksort | queens   (default fibonacci)
+//   W:    nesting depth 1..10                     (default 4)
+#include <cstdio>
+#include <cstring>
+
+#include "sim/experiment.h"
+
+using namespace sempe;
+using workloads::Kind;
+
+int main(int argc, char** argv) {
+  Kind kind = Kind::kFibonacci;
+  if (argc > 1) {
+    if (!std::strcmp(argv[1], "ones")) kind = Kind::kOnes;
+    else if (!std::strcmp(argv[1], "quicksort")) kind = Kind::kQuicksort;
+    else if (!std::strcmp(argv[1], "queens")) kind = Kind::kQueens;
+    else if (std::strcmp(argv[1], "fibonacci")) {
+      std::fprintf(stderr,
+                   "unknown kind '%s' (fibonacci|ones|quicksort|queens)\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+  const usize w = argc > 2 ? static_cast<usize>(std::atoi(argv[2])) : 4;
+  sim::MicrobenchOptions opt;
+  opt.iterations = argc > 3 ? static_cast<usize>(std::atoi(argv[3])) : 20;
+  if (w < 1 || w > 10) {
+    std::fprintf(stderr, "W must be in 1..10\n");
+    return 1;
+  }
+
+  std::printf("microbenchmark %s, W=%zu, %zu iterations\n\n",
+              workloads::kind_name(kind), w, opt.iterations);
+  const auto pt = sim::measure_microbench(kind, w, opt);
+  std::printf("  baseline (legacy, secrets=false): %10llu cycles\n",
+              (unsigned long long)pt.baseline_cycles);
+  std::printf("  SeMPE (all paths executed):       %10llu cycles  (%.2fx)\n",
+              (unsigned long long)pt.sempe_cycles, pt.sempe_slowdown());
+  std::printf("  CTE / FaCT-style:                 %10llu cycles  (%.2fx)\n",
+              (unsigned long long)pt.cte_cycles, pt.cte_slowdown());
+  std::printf("  ideal (sum of paths, standalone): %10llu cycles\n",
+              (unsigned long long)pt.ideal_standalone_cycles);
+  std::printf("\n  SeMPE vs ideal: %.2f    CTE vs SeMPE: %.2fx\n",
+              pt.sempe_vs_ideal_standalone(), pt.cte_vs_sempe());
+  std::printf("\n(The paper's Fig. 10a plots these slowdowns for W=1..10;\n"
+              " SeMPE tracks W+1 while CTE grows super-linearly.)\n");
+  return 0;
+}

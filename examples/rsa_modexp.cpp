@@ -1,0 +1,122 @@
+// The paper's motivating example (Figure 1): square-and-multiply modular
+// exponentiation, where the conditional multiply leaks the key bits.
+//
+// This example builds the routine in the SeMPE ISA with the conditional
+// multiply inside a secure region (shadow slot + CMOV merge), verifies the
+// arithmetic against a host computation, and shows that the timing channel
+// that distinguishes keys on the legacy core disappears under SeMPE.
+//
+//   build/examples/rsa_modexp
+#include <cstdio>
+#include <vector>
+
+#include "isa/program_builder.h"
+#include "security/observation.h"
+#include "sim/simulator.h"
+
+using namespace sempe;
+
+namespace {
+
+constexpr i64 kModulus = 1000003;  // small prime; values stay in 64 bits
+constexpr i64 kBase = 654321;
+constexpr usize kKeyBits = 24;
+
+u64 host_modexp(u64 base, u64 key, u64 mod) {
+  u64 r = 1;
+  for (usize i = kKeyBits; i-- > 0;) {
+    r = (r * r) % mod;
+    if ((key >> i) & 1) r = (r * base) % mod;
+  }
+  return r;
+}
+
+/// Emit Fig. 1 with the secret-dependent multiply in a secure region.
+isa::Program build_modexp(u64 key) {
+  isa::ProgramBuilder pb;
+  std::vector<i64> bits(kKeyBits);
+  for (usize i = 0; i < kKeyBits; ++i)
+    bits[i] = static_cast<i64>((key >> (kKeyBits - 1 - i)) & 1);
+  const Addr key_addr = pb.alloc_words(bits);
+  const Addr shadow = pb.alloc(8, 8);
+
+  const isa::Reg r = 5, b = 6, m = 7, kp = 8, i = 9, s = 10, t = 11, t2 = 12,
+                 sh = 13;
+  pb.li(r, 1);
+  pb.li(b, kBase);
+  pb.li(m, kModulus);
+  pb.li(kp, static_cast<i64>(key_addr));
+  pb.li(i, kKeyBits);
+  auto loop = pb.new_label();
+  pb.bind(loop);
+  // r = r*r mod m
+  pb.mul(t, r, r);
+  pb.rem(r, t, m);
+  // if (key bit) r = r*b mod m — the SDBCB, closed with sJMP.
+  pb.ld(s, kp, 0);
+  auto join = pb.new_label();
+  pb.beq(s, isa::kRegZero, join, isa::Secure::kYes);
+  pb.mul(t, r, b);
+  pb.rem(t2, t, m);
+  pb.li(sh, static_cast<i64>(shadow));
+  pb.st(t2, sh, 0);
+  pb.bind(join);
+  pb.eosjmp();
+  // merge: r = bit ? shadow : r (constant time)
+  pb.li(sh, static_cast<i64>(shadow));
+  pb.ld(t2, sh, 0);
+  pb.cmov(r, s, t2);
+  pb.addi(kp, kp, 8);
+  pb.addi(i, i, -1);
+  pb.bne(i, isa::kRegZero, loop);
+  pb.halt();
+  return pb.build();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RSA modular exponentiation (paper Fig. 1), %zu key bits\n\n",
+              kKeyBits);
+
+  // A low-weight and a high-weight key: on a leaky machine the number of
+  // conditional multiplies is visible in the cycle count.
+  const u64 key_sparse = 0x800001;  // two 1-bits
+  const u64 key_dense = 0xffffff;   // all 1-bits
+
+  for (u64 key : {key_sparse, key_dense}) {
+    const auto prog = build_modexp(key);
+    sim::RunConfig rc;
+    rc.mode = cpu::ExecMode::kLegacy;
+    const auto legacy = sim::run(prog, rc);
+    rc.mode = cpu::ExecMode::kSempe;
+    const auto sempe = sim::run(prog, rc);
+
+    const u64 expect = host_modexp(kBase, key, kModulus);
+    std::printf("key=0x%06llx  expect=%-7llu  legacy r=%-7lld (%llu cyc)   "
+                "SeMPE r=%-7lld (%llu cyc)\n",
+                (unsigned long long)key, (unsigned long long)expect,
+                (long long)legacy.final_state.get_int(5),
+                (unsigned long long)legacy.stats.cycles,
+                (long long)sempe.final_state.get_int(5),
+                (unsigned long long)sempe.stats.cycles);
+  }
+
+  // The attacker's comparison.
+  auto trace = [](u64 key, cpu::ExecMode mode) {
+    sim::RunConfig rc;
+    rc.mode = mode;
+    return sim::run(build_modexp(key), rc).trace;
+  };
+  std::printf("\nlegacy core:  %s\n",
+              security::compare(trace(key_sparse, cpu::ExecMode::kLegacy),
+                                trace(key_dense, cpu::ExecMode::kLegacy))
+                  .to_string()
+                  .c_str());
+  std::printf("SeMPE core:   %s\n",
+              security::compare(trace(key_sparse, cpu::ExecMode::kSempe),
+                                trace(key_dense, cpu::ExecMode::kSempe))
+                  .to_string()
+                  .c_str());
+  return 0;
+}

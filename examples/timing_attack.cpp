@@ -1,0 +1,132 @@
+// An end-to-end attack demonstration: the classic iteration-extension
+// timing attack on square-and-multiply modular exponentiation (the paper's
+// Fig. 1 vulnerability), mounted against the simulated machine.
+//
+// The attacker times the victim processing the first k key bits, for
+// k = 1..N (coarse timing only, per the threat model). On the unprotected
+// core, extending by a 1-bit adds a conditional multiply and the time step
+// reveals the bit. On the SeMPE core the conditional multiply executes on
+// both paths regardless of the bit, so every step is identical and the
+// attack recovers nothing.
+//
+//   build/examples/timing_attack
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/program_builder.h"
+#include "sim/simulator.h"
+
+using namespace sempe;
+
+namespace {
+
+constexpr i64 kModulus = 1000003;
+constexpr i64 kBase = 654321;
+constexpr usize kKeyBits = 16;
+
+/// Fig. 1 modular exponentiation over the first `bits` key bits, with the
+/// conditional multiply in a secure region (shadow slot + CMOV merge).
+isa::Program build_modexp_prefix(u64 key, usize bits) {
+  isa::ProgramBuilder pb;
+  std::vector<i64> bit_words(std::max<usize>(bits, 1));
+  for (usize i = 0; i < bits; ++i)
+    bit_words[i] = static_cast<i64>((key >> (kKeyBits - 1 - i)) & 1);
+  const Addr key_addr = pb.alloc_words(bit_words);
+  const Addr shadow = pb.alloc(8, 8);
+
+  const isa::Reg r = 5, b = 6, m = 7, kp = 8, i = 9, s = 10, t = 11, t2 = 12,
+                 sh = 13;
+  pb.li(r, 1);
+  pb.li(b, kBase);
+  pb.li(m, kModulus);
+  pb.li(kp, static_cast<i64>(key_addr));
+  pb.li(i, static_cast<i64>(bits));
+  auto loop = pb.new_label();
+  pb.bind(loop);
+  pb.mul(t, r, r);
+  pb.rem(r, t, m);
+  pb.ld(s, kp, 0);
+  auto join = pb.new_label();
+  pb.beq(s, isa::kRegZero, join, isa::Secure::kYes);
+  pb.mul(t, r, b);
+  pb.rem(t2, t, m);
+  pb.li(sh, static_cast<i64>(shadow));
+  pb.st(t2, sh, 0);
+  pb.bind(join);
+  pb.eosjmp();
+  pb.li(sh, static_cast<i64>(shadow));
+  pb.ld(t2, sh, 0);
+  pb.cmov(r, s, t2);
+  pb.addi(kp, kp, 8);
+  pb.addi(i, i, -1);
+  pb.bne(i, isa::kRegZero, loop);
+  pb.halt();
+  return pb.build();
+}
+
+Cycle time_prefix(u64 key, usize bits, cpu::ExecMode mode) {
+  sim::RunConfig rc;
+  rc.mode = mode;
+  rc.record_observations = false;
+  return sim::run(build_modexp_prefix(key, bits), rc).stats.cycles;
+}
+
+/// The attack: per-bit timing differentials against calibrated references.
+u64 recover_key(u64 victim_key, cpu::ExecMode mode, usize* correct_bits) {
+  u64 recovered = 0;
+  usize correct = 0;
+  for (usize k = 1; k <= kKeyBits; ++k) {
+    const Cycle t = time_prefix(victim_key, k, mode);
+    // Calibration: what would step k cost if bit k were 0 / were 1?
+    // The attacker knows the code and owns an identical machine, so it can
+    // time hypothesis keys that agree with the recovered prefix.
+    // recovered holds k-1 bits; place them at the top and try both values
+    // of bit k (at position kKeyBits - k).
+    const u64 hyp0 = recovered << (kKeyBits - k + 1);
+    const u64 hyp1 = hyp0 | (1ull << (kKeyBits - k));
+    const Cycle t0 = time_prefix(hyp0, k, mode);
+    const Cycle t1 = time_prefix(hyp1, k, mode);
+    const u64 d0 = t > t0 ? t - t0 : t0 - t;
+    const u64 d1 = t > t1 ? t - t1 : t1 - t;
+    const u64 bit = d1 < d0 ? 1 : 0;
+    recovered = (recovered << 1) | bit;
+    const u64 actual = (victim_key >> (kKeyBits - k)) & 1;
+    if (bit == actual) ++correct;
+  }
+  *correct_bits = correct;
+  return recovered;
+}
+
+std::string bits_of(u64 key) {
+  std::string s;
+  for (usize i = kKeyBits; i-- > 0;) s += ((key >> i) & 1) ? '1' : '0';
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const u64 victim_key = 0xB5C3 & ((1ull << kKeyBits) - 1);
+  std::printf("Iteration-extension timing attack on Fig. 1 modexp\n");
+  std::printf("victim key:     %s\n\n", bits_of(victim_key).c_str());
+
+  usize correct = 0;
+  const u64 legacy_guess = recover_key(victim_key, cpu::ExecMode::kLegacy,
+                                       &correct);
+  std::printf("legacy core:    %s   (%zu/%zu bits correct)%s\n",
+              bits_of(legacy_guess).c_str(), correct, kKeyBits,
+              legacy_guess == victim_key ? "  <-- KEY RECOVERED" : "");
+
+  const u64 sempe_guess = recover_key(victim_key, cpu::ExecMode::kSempe,
+                                      &correct);
+  std::printf("SeMPE core:     %s   (%zu/%zu bits correct)%s\n",
+              bits_of(sempe_guess).c_str(), correct, kKeyBits,
+              sempe_guess == victim_key ? "  <-- KEY RECOVERED"
+                                        : "  <-- attack defeated");
+  std::printf(
+      "\n(Under SeMPE both hypothesis timings are identical to the victim's,\n"
+      " so the per-bit differential carries no information; the recovered\n"
+      " string is the attacker's tie-breaking noise.)\n");
+  return 0;
+}

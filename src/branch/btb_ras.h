@@ -1,0 +1,91 @@
+// Branch target buffer and return address stack.
+//
+// The BTB supplies taken-branch targets at fetch; the RAS predicts return
+// targets for call/return pairs (jal ra / jalr x0, ra).
+#pragma once
+
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::branch {
+
+class Btb {
+ public:
+  explicit Btb(usize entries = 4096) : entries_(entries) {
+    SEMPE_CHECK(is_pow2(entries));
+    table_.resize(entries);
+  }
+
+  /// Look up the target for pc; 0 means miss.
+  Addr lookup(Addr pc) const {
+    const Entry& e = table_[index(pc)];
+    return (e.valid && e.pc == pc) ? e.target : 0;
+  }
+
+  void insert(Addr pc, Addr target) {
+    table_[index(pc)] = {.valid = true, .pc = pc, .target = target};
+  }
+
+  u64 digest() const {
+    u64 h = 1469598103934665603ull;
+    for (const Entry& e : table_) {
+      h ^= e.valid ? (e.pc ^ e.target) : 0;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  void reset() {
+    for (Entry& e : table_) e = Entry{};
+  }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Addr pc = 0;
+    Addr target = 0;
+  };
+  usize index(Addr pc) const { return (pc >> 3) & (entries_ - 1); }
+
+  usize entries_;
+  std::vector<Entry> table_;
+};
+
+class ReturnAddressStack {
+ public:
+  explicit ReturnAddressStack(usize depth = 32) : depth_(depth) {}
+
+  void push(Addr ret) {
+    if (stack_.size() == depth_) stack_.erase(stack_.begin());
+    stack_.push_back(ret);
+  }
+
+  /// Pop a predicted return target; 0 if empty.
+  Addr pop() {
+    if (stack_.empty()) return 0;
+    const Addr a = stack_.back();
+    stack_.pop_back();
+    return a;
+  }
+
+  usize size() const { return stack_.size(); }
+  void reset() { stack_.clear(); }
+
+  u64 digest() const {
+    u64 h = 1469598103934665603ull;
+    for (Addr a : stack_) {
+      h ^= a;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+ private:
+  usize depth_;
+  std::vector<Addr> stack_;
+};
+
+}  // namespace sempe::branch

@@ -1,0 +1,64 @@
+// Global branch history register with folded-index helpers, shared by the
+// TAGE and ITTAGE predictors.
+#pragma once
+
+#include <vector>
+
+#include "util/bits.h"
+#include "util/types.h"
+
+namespace sempe::branch {
+
+/// A shift register of branch outcomes (bit 0 = most recent).
+class GlobalHistory {
+ public:
+  explicit GlobalHistory(usize max_bits = 512) : bits_(max_bits, 0) {}
+
+  void push(bool taken) {
+    head_ = (head_ + 1) % bits_.size();
+    bits_[head_] = taken ? 1 : 0;
+  }
+
+  /// Fold the most recent `len` bits of history down to `out_bits` bits.
+  u64 folded(usize len, u32 out_bits) const {
+    u64 h = 0;
+    u64 chunk = 0;
+    u32 pos = 0;
+    for (usize i = 0; i < len && i < bits_.size(); ++i) {
+      chunk |= static_cast<u64>(bit(i)) << pos;
+      if (++pos == out_bits) {
+        h ^= chunk;
+        chunk = 0;
+        pos = 0;
+      }
+    }
+    h ^= chunk;
+    return h & low_mask(out_bits);
+  }
+
+  u8 bit(usize age) const {
+    return bits_[(head_ + bits_.size() - age % bits_.size()) % bits_.size()];
+  }
+
+  /// Digest of the full history contents — attacker-visible predictor state.
+  u64 digest() const {
+    u64 h = 1469598103934665603ull;
+    for (usize i = 0; i < bits_.size(); ++i) {
+      h ^= bits_[i];
+      h *= 1099511628211ull;
+    }
+    h ^= head_;
+    return h;
+  }
+
+  void reset() {
+    for (auto& b : bits_) b = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<u8> bits_;
+  usize head_ = 0;
+};
+
+}  // namespace sempe::branch

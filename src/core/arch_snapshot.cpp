@@ -1,0 +1,94 @@
+#include "core/arch_snapshot.h"
+
+namespace sempe::core {
+
+namespace {
+constexpr usize kRegBytes = 8;
+// One modified bit-vector, stored in 8-byte granules.
+constexpr usize kVectorBytes = ((isa::kNumArchRegs + 63) / 64) * 8;
+}  // namespace
+
+SpmTraffic ArchSnapshotUnit::enter(const RegBits& regs, bool taken_outcome) {
+  SEMPE_CHECK_MSG(frames_.size() < spm_->config().max_snapshots,
+                  "SPM snapshot overflow: nesting depth "
+                      << frames_.size() + 1 << " exceeds "
+                      << spm_->config().max_snapshots);
+  Frame f;
+  f.initial = regs;
+  f.taken_outcome = taken_outcome;
+  frames_.push_back(f);
+
+  // All 48 architectural registers plus the (cleared) bit-vectors are
+  // written to this level's SPM slot.
+  SpmTraffic t;
+  t.bytes_written = isa::kNumArchRegs * kRegBytes + 2 * kVectorBytes;
+  spm_->account_transfer(t.total());
+  return t;
+}
+
+SpmTraffic ArchSnapshotUnit::jump_back(RegBits& regs) {
+  Frame& f = top();
+  SEMPE_CHECK_MSG(!f.in_taken_path, "jump_back() called twice");
+
+  // Save the NT-path values of the modified registers, then restore those
+  // registers to the pre-SecBlock state so the taken path starts clean.
+  usize modified = 0;
+  for (usize r = 0; r < isa::kNumArchRegs; ++r) {
+    if (f.nt_modified.test(r)) {
+      f.nt_state[r] = regs[r];
+      regs[r] = f.initial[r];
+      ++modified;
+    }
+  }
+  f.in_taken_path = true;
+
+  SpmTraffic t;
+  t.bytes_written = modified * kRegBytes + kVectorBytes;  // NT state + vector
+  t.bytes_read = modified * kRegBytes;                    // initial values
+  spm_->account_transfer(t.total());
+  return t;
+}
+
+SpmTraffic ArchSnapshotUnit::finish(RegBits& regs) {
+  Frame f = top();
+  SEMPE_CHECK_MSG(f.in_taken_path, "finish() before jump_back()");
+  frames_.pop_back();
+
+  // Constant-time restore: every register modified in either path is read
+  // from the SPM; whether the read value is applied or the current value is
+  // rewritten depends on the outcome, but the traffic does not.
+  usize touched = 0;
+  for (usize r = 0; r < isa::kNumArchRegs; ++r) {
+    const bool in_nt = f.nt_modified.test(r);
+    const bool in_t = f.t_modified.test(r);
+    if (!in_nt && !in_t) continue;
+    ++touched;
+    if (f.taken_outcome) {
+      // Taken path is the true path: current values (T-path results) are
+      // already correct; the register is overwritten with itself.
+      const u64 current = regs[r];
+      regs[r] = current;
+    } else {
+      // NT path is the true path: NT-modified registers take the NT-path
+      // value; registers modified only in the T path revert to the initial
+      // state.
+      regs[r] = in_nt ? f.nt_state[r] : f.initial[r];
+    }
+  }
+
+  // The enclosing level (if any) sees this whole region's register writes
+  // as modifications of its current path.
+  if (!frames_.empty()) {
+    Frame& parent = frames_.back();
+    RegMask& mask =
+        parent.in_taken_path ? parent.t_modified : parent.nt_modified;
+    mask |= f.nt_modified | f.t_modified;
+  }
+
+  SpmTraffic t;
+  t.bytes_read = touched * kRegBytes + 2 * kVectorBytes;
+  spm_->account_transfer(t.total());
+  return t;
+}
+
+}  // namespace sempe::core

@@ -1,0 +1,109 @@
+// ArchRS — the Architectural Register Snapshot mechanism (Section IV-F).
+//
+// Each nesting level owns an SPM slot holding: the architectural register
+// state before entering the SecBlock, the state after the NT path, and two
+// modified-register bit-vectors (T-Modified / NT-Modified). The unit
+// performs the three operations of Figure 6:
+//
+//   enter()        — initial register save at sJMP commit (after drain 1)
+//   jump_back()    — save NT-modified regs, restore pre-SecBlock state
+//                    (drain 2), redirect to the taken path
+//   finish()       — constant-time selective restore at the end of the
+//                    taken path (drain 3)
+//
+// The selective restore reads every register modified in *either* path from
+// the SPM regardless of the outcome and either applies it or rewrites the
+// current value — so its timing is outcome-independent (the paper's defense
+// against the timing attack on the restore itself).
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <vector>
+
+#include "isa/reg.h"
+#include "mem/scratchpad.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::core {
+
+/// Register state as raw bits (integer and FP registers unified), the form
+/// in which the SPM stores snapshots.
+using RegBits = std::array<u64, isa::kNumArchRegs>;
+using RegMask = std::bitset<isa::kNumArchRegs>;
+
+/// Byte counts for the SPM transfers performed by one ArchRS operation;
+/// the timing model converts these to cycles at the SPM throughput.
+struct SpmTraffic {
+  usize bytes_written = 0;
+  usize bytes_read = 0;
+  usize total() const { return bytes_written + bytes_read; }
+};
+
+class ArchSnapshotUnit {
+ public:
+  explicit ArchSnapshotUnit(mem::Scratchpad* spm) : spm_(spm) {
+    SEMPE_CHECK(spm != nullptr);
+  }
+
+  usize depth() const { return frames_.size(); }
+  bool in_secure_region() const { return !frames_.empty(); }
+
+  /// Record an architectural register write. Marks the register modified in
+  /// the current phase of every active nesting level (an inner region's
+  /// writes are also modifications of the enclosing region's current path).
+  void note_write(isa::Reg r) {
+    for (Frame& f : frames_) {
+      (f.in_taken_path ? f.t_modified : f.nt_modified).set(r);
+    }
+  }
+
+  /// Drain-1 save: snapshot all architectural registers on sJMP commit.
+  SpmTraffic enter(const RegBits& regs, bool taken_outcome);
+
+  /// Drain-2: save NT-modified registers, then restore the pre-SecBlock
+  /// values of exactly those registers into `regs`. Switches the level to
+  /// its taken path.
+  SpmTraffic jump_back(RegBits& regs);
+
+  /// Drain-3: constant-time selective restore; applies the correct final
+  /// state to `regs` based on the outcome recorded at enter(), pops the
+  /// level, and propagates the union of modifications to the parent level.
+  SpmTraffic finish(RegBits& regs);
+
+  /// NT/T modified masks of the innermost level (tests + timing).
+  const RegMask& nt_modified() const { return top().nt_modified; }
+  const RegMask& t_modified() const { return top().t_modified; }
+
+  void reset() { frames_.clear(); }
+
+  /// Pipeline-flush recovery (paired with JbTable::squash_newest).
+  void squash_newest() {
+    if (!frames_.empty()) frames_.pop_back();
+  }
+
+ private:
+  struct Frame {
+    RegBits initial{};   // before entering the SecBlock
+    RegBits nt_state{};  // after the NT path (valid for modified regs)
+    RegMask nt_modified;
+    RegMask t_modified;
+    bool taken_outcome = false;
+    bool in_taken_path = false;
+  };
+
+  const Frame& top() const {
+    SEMPE_CHECK_MSG(!frames_.empty(), "no active secure region");
+    return frames_.back();
+  }
+  Frame& top() {
+    SEMPE_CHECK_MSG(!frames_.empty(), "no active secure region");
+    return frames_.back();
+  }
+
+  mem::Scratchpad* spm_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace sempe::core

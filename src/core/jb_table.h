@@ -1,0 +1,99 @@
+// The Jump-Back Table (jbTable) — the heart of SeMPE (Section IV-E).
+//
+// A hardware LIFO with one entry per supported secure-branch nesting level.
+// Each entry holds the sJMP destination address (nextPC for the taken
+// path), the actual branch outcome (T/NT), a Valid bit (set when the sJMP
+// commits and its target is known) and a Jump-Back bit (set when the first
+// eosJMP commit redirects fetch to the taken path).
+#pragma once
+
+#include <optional>
+
+#include "util/fixed_lifo.h"
+#include "util/types.h"
+
+namespace sempe::core {
+
+struct JbEntry {
+  Addr target = 0;       // sJMP destination (start of the taken SecBlock)
+  bool taken = false;    // actual branch outcome (T/NT bit field)
+  bool valid = false;    // target computed & sJMP committed
+  bool jump_back = false;
+};
+
+class JbTable {
+ public:
+  explicit JbTable(usize entries = 30) : lifo_(entries) {}
+
+  usize capacity() const { return lifo_.capacity(); }
+  usize depth() const { return lifo_.size(); }
+  bool empty() const { return lifo_.empty(); }
+  bool full() const { return lifo_.full(); }
+
+  /// Issue-stage rule: a (nested) sJMP may only be issued when the table is
+  /// empty or the most recent entry has its Valid bit set (Step 6 in Fig. 5).
+  bool can_issue_sjmp() const { return empty() || lifo_.top().valid; }
+
+  /// Allocate an entry when the sJMP issues (Step 1). Valid/jb are reset.
+  /// Returns false on nesting overflow.
+  bool allocate() {
+    ++allocations_;
+    if (!lifo_.push(JbEntry{})) {
+      ++overflows_;
+      return false;
+    }
+    high_water_ = std::max(high_water_, lifo_.size());
+    return true;
+  }
+
+  /// sJMP committed: record the computed target and outcome, set Valid
+  /// (Step 2).
+  void commit_sjmp(Addr target, bool taken) {
+    JbEntry& e = lifo_.top();
+    e.target = target;
+    e.taken = taken;
+    e.valid = true;
+  }
+
+  const JbEntry& top() const { return lifo_.top(); }
+
+  /// First eosJMP commit: consume the target as nextPC and set jump-back
+  /// (Steps 3–5). Precondition: Valid set, jump-back clear.
+  Addr take_jump_back() {
+    JbEntry& e = lifo_.top();
+    SEMPE_CHECK_MSG(e.valid && !e.jump_back, "jbTable protocol violation");
+    e.jump_back = true;
+    return e.target;
+  }
+
+  /// Second eosJMP commit: the secure region is complete; remove the entry
+  /// and return it (for the register-restore outcome).
+  JbEntry retire() {
+    SEMPE_CHECK_MSG(lifo_.top().jump_back, "retire before jump-back");
+    return lifo_.pop();
+  }
+
+  /// Pipeline-flush recovery: squash the newest entry (entries are removed
+  /// newest-to-oldest as squashed sJMPs leave the ROB).
+  void squash_newest() {
+    if (!lifo_.empty()) lifo_.pop();
+  }
+
+  void reset() { lifo_.clear(); }
+
+  // Statistics.
+  u64 allocations() const { return allocations_; }
+  u64 overflows() const { return overflows_; }
+  usize high_water() const { return high_water_; }
+
+  /// Hardware cost in bits: target (64) + T/NT + Valid + jump-back per entry.
+  usize total_bits() const { return capacity() * (64 + 3); }
+
+ private:
+  FixedLifo<JbEntry> lifo_;
+  u64 allocations_ = 0;
+  u64 overflows_ = 0;
+  usize high_water_ = 0;
+};
+
+}  // namespace sempe::core

@@ -1,0 +1,196 @@
+#include "core/region_verifier.h"
+#include <algorithm>
+
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sempe::core {
+
+using isa::Instruction;
+using isa::OpClass;
+using isa::Opcode;
+
+const char* finding_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kMissingEosjmp: return "missing-eosjmp";
+    case FindingKind::kNestingTooDeep: return "nesting-too-deep";
+    case FindingKind::kDivInSecBlock: return "div-in-secblock";
+    case FindingKind::kCallInSecBlock: return "call-in-secblock";
+    case FindingKind::kIndirectInSecBlock: return "indirect-in-secblock";
+    case FindingKind::kBackwardEdgeInBlock: return "loop-in-secblock";
+    case FindingKind::kUnmatchedEosjmp: return "unmatched-eosjmp";
+  }
+  return "?";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << finding_name(kind) << " at 0x" << std::hex << pc;
+  if (sjmp_pc != 0) os << " (region of sJMP at 0x" << sjmp_pc << ")";
+  if (!detail.empty()) os << std::dec << ": " << detail;
+  return os.str();
+}
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream os;
+  os << secure_branches << " secure branch(es), max static nesting "
+     << max_static_nesting << ", " << findings.size() << " finding(s)\n";
+  for (const Finding& f : findings) os << "  " << f.to_string() << '\n';
+  return os.str();
+}
+
+namespace {
+
+/// Walk one path of a secure region, counting nesting depth; emits findings
+/// into `out` and records the set of depth-exit eosJMP PCs (join points).
+class RegionWalker {
+ public:
+  RegionWalker(const isa::Program& prog, const VerifyOptions& opt, Addr sjmp,
+               std::vector<Finding>& out, std::set<Addr>& matched_eos)
+      : prog_(prog), opt_(opt), sjmp_(sjmp), out_(out),
+        matched_eos_(matched_eos) {}
+
+  usize max_depth() const { return max_depth_; }
+  const std::set<Addr>& joins() const { return joins_; }
+
+  void walk(Addr start) {
+    // (pc, depth) worklist; depth 1 = inside the region being verified.
+    std::vector<std::pair<Addr, usize>> work = {{start, 1}};
+    std::set<std::pair<Addr, usize>> seen;
+    while (!work.empty()) {
+      auto [pc, depth] = work.back();
+      work.pop_back();
+      if (!seen.insert({pc, depth}).second) continue;
+      if (!prog_.contains(pc)) {
+        emit(FindingKind::kMissingEosjmp, pc, "path runs off the program");
+        continue;
+      }
+      const Instruction ins = prog_.fetch(pc);
+      const OpClass cls = isa::op_info(ins.op).op_class;
+      max_depth_ = std::max(max_depth_, depth);
+
+      if (ins.op == Opcode::kEosjmp) {
+        matched_eos_.insert(pc);
+        if (depth == 1) {
+          joins_.insert(pc);  // region closed on this path
+          continue;
+        }
+        work.push_back({pc + isa::kInstrBytes, depth - 1});
+        continue;
+      }
+      if (ins.op == Opcode::kHalt) {
+        emit(FindingKind::kMissingEosjmp, pc, "HALT inside a secure region");
+        continue;
+      }
+      if (ins.op == Opcode::kDiv || ins.op == Opcode::kRem) {
+        if (!opt_.allow_div)
+          emit(FindingKind::kDivInSecBlock, pc,
+               "division may raise an exception on other implementations");
+        work.push_back({pc + isa::kInstrBytes, depth});
+        continue;
+      }
+      if (cls == OpClass::kJumpInd) {
+        emit(FindingKind::kIndirectInSecBlock, pc,
+             "indirect jump: region extent unverifiable");
+        continue;  // cannot follow
+      }
+      if (cls == OpClass::kJump) {
+        if (ins.rd != isa::kRegZero) {
+          emit(FindingKind::kCallInSecBlock, pc,
+               "call inside SecBlock (recursion may overflow the jbTable)");
+          continue;  // do not follow into the callee
+        }
+        const Addr target = static_cast<Addr>(static_cast<i64>(pc) + ins.imm);
+        work.push_back({target, depth});
+        continue;
+      }
+      if (cls == OpClass::kBranch) {
+        const Addr target = static_cast<Addr>(static_cast<i64>(pc) + ins.imm);
+        if (ins.imm < 0 && !opt_.allow_loops) {
+          emit(FindingKind::kBackwardEdgeInBlock, pc,
+               "backward branch inside SecBlock");
+        }
+        if (ins.secure) {
+          // Nested secure region: both paths continue one level deeper.
+          const usize d = depth + 1;
+          if (d > opt_.max_nesting) {
+            emit(FindingKind::kNestingTooDeep, pc,
+                 "static nesting exceeds jbTable capacity");
+            continue;
+          }
+          work.push_back({pc + isa::kInstrBytes, d});
+          work.push_back({target, d});
+        } else {
+          work.push_back({pc + isa::kInstrBytes, depth});
+          work.push_back({target, depth});
+        }
+        continue;
+      }
+      // Plain instruction: fall through.
+      work.push_back({pc + isa::kInstrBytes, depth});
+    }
+  }
+
+ private:
+  void emit(FindingKind k, Addr pc, std::string detail) {
+    out_.push_back({k, pc, sjmp_, std::move(detail)});
+  }
+
+  const isa::Program& prog_;
+  const VerifyOptions& opt_;
+  Addr sjmp_;
+  std::vector<Finding>& out_;
+  std::set<Addr>& matched_eos_;
+  std::set<Addr> joins_;
+  usize max_depth_ = 0;
+};
+
+}  // namespace
+
+VerifyResult verify_secure_regions(const isa::Program& program,
+                                   const VerifyOptions& opt) {
+  VerifyResult result;
+  std::set<Addr> matched_eos;
+  std::set<Addr> all_eos;
+
+  for (usize i = 0; i < program.num_instructions(); ++i) {
+    const Addr pc = program.pc_of(i);
+    const Instruction ins = program.fetch(pc);
+    if (ins.op == Opcode::kEosjmp) all_eos.insert(pc);
+    if (!ins.is_sjmp()) continue;
+    ++result.secure_branches;
+
+    const Addr target = static_cast<Addr>(static_cast<i64>(pc) + ins.imm);
+    RegionWalker nt(program, opt, pc, result.findings, matched_eos);
+    nt.walk(pc + isa::kInstrBytes);
+    RegionWalker tk(program, opt, pc, result.findings, matched_eos);
+    tk.walk(target);
+    result.max_static_nesting =
+        std::max({result.max_static_nesting, nt.max_depth(), tk.max_depth()});
+
+    // Both paths must be able to close the region at a common join point.
+    if (!nt.joins().empty() && !tk.joins().empty()) {
+      std::set<Addr> common;
+      for (Addr a : nt.joins())
+        if (tk.joins().count(a)) common.insert(a);
+      if (common.empty()) {
+        result.findings.push_back(
+            {FindingKind::kMissingEosjmp, pc, pc,
+             "the two paths close the region at different eosJMPs"});
+      }
+    }
+  }
+
+  for (Addr pc : all_eos) {
+    if (!matched_eos.count(pc)) {
+      result.findings.push_back(
+          {FindingKind::kUnmatchedEosjmp, pc, 0,
+           "eosJMP not reached from any secure branch (executes as NOP)"});
+    }
+  }
+  return result;
+}
+
+}  // namespace sempe::core

@@ -1,0 +1,65 @@
+// Static verification of secure regions — the compiler-support half of
+// SeMPE (Section IV-C/G and the paper's limitations discussion).
+//
+// The hardware contract is simple but easy to violate when instrumenting by
+// hand: every sJMP's taken target must reach the matching eosJMP join; both
+// paths must stay inside the region; nesting must respect the jbTable
+// capacity; SecBlocks must not contain instructions that can raise hardware
+// exceptions ("the compiler needs to reject any SecBlocks that have a
+// potential hardware exception") or calls/indirect jumps (recursion may
+// exceed the nesting bound at run time and is "rejected at compile time").
+//
+// The verifier walks both paths of every secure branch symbolically and
+// reports a list of findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/cfg.h"
+#include "isa/program.h"
+
+namespace sempe::core {
+
+enum class FindingKind : u8 {
+  kMissingEosjmp,        // a path leaves the program / halts before the join
+  kNestingTooDeep,       // static nesting exceeds the jbTable capacity
+  kDivInSecBlock,        // DIV/REM inside a SecBlock (exception policy)
+  kCallInSecBlock,       // jal/jalr inside a SecBlock (recursion risk)
+  kIndirectInSecBlock,   // jalr target unknown: region bound unverifiable
+  kBackwardEdgeInBlock,  // loop whose bound may be secret-dependent
+  kUnmatchedEosjmp,      // eosJMP not reachable from any sJMP (benign: NOP)
+};
+
+const char* finding_name(FindingKind k);
+
+struct Finding {
+  FindingKind kind;
+  Addr pc = 0;        // where the issue was detected
+  Addr sjmp_pc = 0;   // the secure branch that owns the region (if any)
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+struct VerifyOptions {
+  usize max_nesting = 30;   // jbTable capacity
+  bool allow_div = false;   // paper: user may accept the exception risk
+  bool allow_loops = true;  // loops with non-secret bounds are fine; flag
+                            // them only when this is false
+};
+
+struct VerifyResult {
+  std::vector<Finding> findings;
+  usize secure_branches = 0;
+  usize max_static_nesting = 0;
+
+  bool ok() const { return findings.empty(); }
+  std::string to_string() const;
+};
+
+/// Verify all secure regions in the program.
+VerifyResult verify_secure_regions(const isa::Program& program,
+                                   const VerifyOptions& opt = {});
+
+}  // namespace sempe::core

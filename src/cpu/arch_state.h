@@ -1,0 +1,60 @@
+// Architectural register state: 32 integer + 16 double-precision FP
+// registers, with a unified raw-bits view used by the ArchRS snapshots.
+#pragma once
+
+#include <array>
+#include <bit>
+
+#include "core/arch_snapshot.h"
+#include "isa/reg.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::cpu {
+
+class ArchState {
+ public:
+  i64 get_int(isa::Reg r) const {
+    SEMPE_CHECK(isa::is_int_reg(r));
+    return r == isa::kRegZero ? 0 : x_[r];
+  }
+  void set_int(isa::Reg r, i64 v) {
+    SEMPE_CHECK(isa::is_int_reg(r));
+    if (r != isa::kRegZero) x_[r] = v;
+  }
+
+  double get_fp(isa::Reg r) const {
+    SEMPE_CHECK(isa::is_fp_reg(r));
+    return f_[r - isa::kNumIntRegs];
+  }
+  void set_fp(isa::Reg r, double v) {
+    SEMPE_CHECK(isa::is_fp_reg(r));
+    f_[r - isa::kNumIntRegs] = v;
+  }
+
+  /// Raw-bits view over all 48 architectural registers (snapshot format).
+  core::RegBits bits() const {
+    core::RegBits b{};
+    for (usize r = 0; r < isa::kNumIntRegs; ++r)
+      b[r] = static_cast<u64>(x_[r]);
+    for (usize r = 0; r < isa::kNumFpRegs; ++r)
+      b[isa::kNumIntRegs + r] = std::bit_cast<u64>(f_[r]);
+    b[isa::kRegZero] = 0;
+    return b;
+  }
+  void set_bits(const core::RegBits& b) {
+    for (usize r = 0; r < isa::kNumIntRegs; ++r)
+      x_[r] = static_cast<i64>(b[r]);
+    for (usize r = 0; r < isa::kNumFpRegs; ++r)
+      f_[r] = std::bit_cast<double>(b[isa::kNumIntRegs + r]);
+    x_[isa::kRegZero] = 0;
+  }
+
+  Addr pc = 0;
+
+ private:
+  std::array<i64, isa::kNumIntRegs> x_{};
+  std::array<double, isa::kNumFpRegs> f_{};
+};
+
+}  // namespace sempe::cpu

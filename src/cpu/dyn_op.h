@@ -1,0 +1,47 @@
+// DynOp — one dynamically executed instruction, as handed from the
+// functional core to the timing pipeline.
+//
+// The functional core resolves everything architectural (values, addresses,
+// branch outcomes, SeMPE snapshot traffic); the pipeline model consumes
+// these records to compute cycles.
+#pragma once
+
+#include "isa/instruction.h"
+#include "util/types.h"
+
+namespace sempe::cpu {
+
+/// SeMPE micro-event attached to a dynamic instruction.
+enum class SempeEvent : u8 {
+  kNone,
+  kSjmpEnter,    // secure branch: jbTable allocate + initial register save
+  kEosFirst,     // first eosJMP commit: NT-save/restore + jump back
+  kEosSecond,    // second eosJMP commit: selective restore, region complete
+};
+
+struct DynOp {
+  u64 seq = 0;                 // dynamic sequence number
+  Addr pc = 0;
+  isa::Instruction ins;
+  Addr next_pc = 0;            // architecturally correct next PC
+
+  // Memory operation (loads/stores).
+  bool is_mem = false;
+  bool is_store = false;
+  Addr mem_addr = 0;
+  u8 mem_size = 0;
+
+  // Control flow.
+  bool is_cond_branch = false;
+  bool is_secure_branch = false;  // sJMP executing under SeMPE mode
+  bool branch_taken = false;      // architectural outcome of the condition
+  Addr branch_target = 0;         // taken-target (branches) / jump target
+
+  // SeMPE event + SPM traffic for the timing model.
+  SempeEvent event = SempeEvent::kNone;
+  u32 spm_bytes = 0;
+
+  bool is_halt = false;
+};
+
+}  // namespace sempe::cpu

@@ -1,0 +1,295 @@
+#include "isa/assembler.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "isa/program_builder.h"
+
+namespace sempe::isa {
+
+namespace {
+
+struct AsmError {
+  static SimError at(usize line, const std::string& msg) {
+    std::ostringstream os;
+    os << "assembler: line " << line << ": " << msg;
+    return SimError(os.str());
+  }
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ',' || c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) {
+        toks.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) toks.push_back(cur);
+  return toks;
+}
+
+std::optional<Reg> parse_reg(const std::string& t) {
+  if (t == "zero") return kRegZero;
+  if (t == "ra") return kRegRa;
+  if (t == "sp") return kRegSp;
+  if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'f')) {
+    usize n = 0;
+    for (usize i = 1; i < t.size(); ++i) {
+      if (!isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+      n = n * 10 + static_cast<usize>(t[i] - '0');
+    }
+    if (t[0] == 'x' && n < kNumIntRegs) return int_reg(n);
+    if (t[0] == 'f' && n < kNumFpRegs) return fp_reg(n);
+  }
+  return std::nullopt;
+}
+
+std::optional<i64> parse_imm(const std::string& t) {
+  if (t.empty()) return std::nullopt;
+  usize i = 0;
+  bool neg = false;
+  if (t[0] == '-' || t[0] == '+') {
+    neg = t[0] == '-';
+    i = 1;
+  }
+  if (i >= t.size()) return std::nullopt;
+  i64 base = 10;
+  if (t.size() > i + 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  i64 v = 0;
+  for (; i < t.size(); ++i) {
+    const char c = static_cast<char>(tolower(static_cast<unsigned char>(t[i])));
+    i64 d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') d = 10 + (c - 'a');
+    else return std::nullopt;
+    v = v * base + d;
+  }
+  return neg ? -v : v;
+}
+
+std::optional<Opcode> find_opcode(const std::string& name) {
+  for (usize i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    if (op_name(op) == name) return op;
+  }
+  return std::nullopt;
+}
+
+class Assembler {
+ public:
+  Program run(const std::string& source) {
+    std::istringstream in(source);
+    std::string line;
+    usize lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      parse_line(line, lineno);
+    }
+    if (!pending_data_.empty()) flush_data();
+    return pb_.build();
+  }
+
+ private:
+  using Label = ProgramBuilder::Label;
+
+  Label label_of(const std::string& name) {
+    auto it = code_labels_.find(name);
+    if (it != code_labels_.end()) return it->second;
+    const Label l = pb_.new_label();
+    code_labels_.emplace(name, l);
+    return l;
+  }
+
+  void flush_data() {
+    SEMPE_CHECK(!current_data_name_.empty());
+    const Addr a = pending_data_.empty()
+                       ? pb_.alloc(pending_zero_, 8)
+                       : pb_.alloc_bytes(pending_data_);
+    data_syms_[current_data_name_] = a;
+    pending_data_.clear();
+    pending_zero_ = 0;
+    current_data_name_.clear();
+  }
+
+  void parse_line(const std::string& raw, usize lineno) {
+    std::vector<std::string> toks = tokenize(raw);
+    if (toks.empty()) return;
+
+    // Directives.
+    if (toks[0] == ".data") {
+      if (toks.size() != 2) throw AsmError::at(lineno, ".data needs a name");
+      if (!current_data_name_.empty()) flush_data();
+      in_data_ = true;
+      current_data_name_ = toks[1];
+      return;
+    }
+    if (toks[0] == ".text") {
+      if (!current_data_name_.empty()) flush_data();
+      in_data_ = false;
+      return;
+    }
+    if (toks[0] == ".word") {
+      if (!in_data_) throw AsmError::at(lineno, ".word outside .data");
+      for (usize i = 1; i < toks.size(); ++i) {
+        const auto v = parse_imm(toks[i]);
+        if (!v) throw AsmError::at(lineno, "bad .word value '" + toks[i] + "'");
+        const u64 w = static_cast<u64>(*v);
+        for (usize b = 0; b < 8; ++b)
+          pending_data_.push_back(static_cast<u8>(w >> (8 * b)));
+      }
+      return;
+    }
+    if (toks[0] == ".zero") {
+      if (!in_data_) throw AsmError::at(lineno, ".zero outside .data");
+      const auto v = toks.size() == 2 ? parse_imm(toks[1]) : std::nullopt;
+      if (!v || *v < 0) throw AsmError::at(lineno, "bad .zero size");
+      if (!pending_data_.empty())
+        pending_data_.resize(pending_data_.size() + static_cast<usize>(*v));
+      else
+        pending_zero_ += static_cast<usize>(*v);
+      return;
+    }
+    if (in_data_) throw AsmError::at(lineno, "instruction inside .data block");
+
+    // Code label.
+    if (toks[0].back() == ':') {
+      const std::string name = toks[0].substr(0, toks[0].size() - 1);
+      if (name.empty()) throw AsmError::at(lineno, "empty label name");
+      const Label l = label_of(name);
+      pb_.bind(l);
+      if (toks.size() > 1) {
+        toks.erase(toks.begin());
+        emit_instr(toks, lineno);
+      }
+      return;
+    }
+    emit_instr(toks, lineno);
+  }
+
+  Reg want_reg(const std::vector<std::string>& t, usize i, usize lineno) {
+    if (i >= t.size()) throw AsmError::at(lineno, "missing register operand");
+    const auto r = parse_reg(t[i]);
+    if (!r) throw AsmError::at(lineno, "bad register '" + t[i] + "'");
+    return *r;
+  }
+  i64 want_imm(const std::vector<std::string>& t, usize i, usize lineno) {
+    if (i >= t.size()) throw AsmError::at(lineno, "missing immediate operand");
+    const auto v = parse_imm(t[i]);
+    if (!v) throw AsmError::at(lineno, "bad immediate '" + t[i] + "'");
+    return *v;
+  }
+
+  void emit_instr(const std::vector<std::string>& toks, usize lineno) {
+    std::string mnem = toks[0];
+    bool secure = false;
+    if (mnem.rfind("sjmp.", 0) == 0) {
+      secure = true;
+      mnem = mnem.substr(5);
+    }
+
+    // Pseudo-instructions.
+    if (mnem == "li") {
+      pb_.li(want_reg(toks, 1, lineno), want_imm(toks, 2, lineno));
+      return;
+    }
+    if (mnem == "la") {
+      const Reg rd = want_reg(toks, 1, lineno);
+      if (toks.size() != 3) throw AsmError::at(lineno, "la needs a symbol");
+      auto it = data_syms_.find(toks[2]);
+      if (it == data_syms_.end())
+        throw AsmError::at(lineno, "unknown data symbol '" + toks[2] +
+                                       "' (declare .data before use)");
+      pb_.li64(rd, static_cast<i64>(it->second));
+      return;
+    }
+    if (mnem == "mov") {
+      pb_.mov(want_reg(toks, 1, lineno), want_reg(toks, 2, lineno));
+      return;
+    }
+    if (mnem == "jmp") {
+      if (toks.size() != 2) throw AsmError::at(lineno, "jmp needs a label");
+      pb_.jmp(label_of(toks[1]));
+      return;
+    }
+    if (mnem == "ret") {
+      pb_.ret();
+      return;
+    }
+
+    const auto op = find_opcode(mnem);
+    if (!op) throw AsmError::at(lineno, "unknown mnemonic '" + mnem + "'");
+    const OpInfo& info = op_info(*op);
+
+    if (secure && info.op_class != OpClass::kBranch)
+      throw AsmError::at(lineno, "sjmp. prefix only applies to branches");
+
+    if (info.op_class == OpClass::kBranch) {
+      const Reg a = want_reg(toks, 1, lineno);
+      const Reg b = want_reg(toks, 2, lineno);
+      if (toks.size() != 4) throw AsmError::at(lineno, "branch needs a label");
+      Instruction tmpl;  // route through builder's fixup machinery
+      switch (*op) {
+        case Opcode::kBeq: pb_.beq(a, b, label_of(toks[3]), sec(secure)); break;
+        case Opcode::kBne: pb_.bne(a, b, label_of(toks[3]), sec(secure)); break;
+        case Opcode::kBlt: pb_.blt(a, b, label_of(toks[3]), sec(secure)); break;
+        case Opcode::kBge: pb_.bge(a, b, label_of(toks[3]), sec(secure)); break;
+        case Opcode::kBltu: pb_.bltu(a, b, label_of(toks[3]), sec(secure)); break;
+        case Opcode::kBgeu: pb_.bgeu(a, b, label_of(toks[3]), sec(secure)); break;
+        default: throw AsmError::at(lineno, "unhandled branch");
+      }
+      (void)tmpl;
+      return;
+    }
+    if (*op == Opcode::kJal) {
+      if (toks.size() != 3) throw AsmError::at(lineno, "jal rd, label");
+      pb_.jal(want_reg(toks, 1, lineno), label_of(toks[2]));
+      return;
+    }
+
+    Instruction ins;
+    ins.op = *op;
+    usize i = 1;
+    if (info.op_class == OpClass::kStore) {
+      // st value, base, offset
+      ins.rs2 = want_reg(toks, i++, lineno);
+      ins.rs1 = want_reg(toks, i++, lineno);
+      ins.imm = want_imm(toks, i++, lineno);
+    } else {
+      if (info.uses_rd) ins.rd = want_reg(toks, i++, lineno);
+      if (info.uses_rs1) ins.rs1 = want_reg(toks, i++, lineno);
+      if (info.uses_rs2) ins.rs2 = want_reg(toks, i++, lineno);
+      if (info.has_imm) ins.imm = want_imm(toks, i++, lineno);
+    }
+    if (i != toks.size())
+      throw AsmError::at(lineno, "trailing operands on '" + mnem + "'");
+    pb_.emit(ins);
+  }
+
+  static Secure sec(bool s) { return s ? Secure::kYes : Secure::kNo; }
+
+  ProgramBuilder pb_;
+  std::map<std::string, Label> code_labels_;
+  std::map<std::string, Addr> data_syms_;
+  bool in_data_ = false;
+  std::string current_data_name_;
+  std::vector<u8> pending_data_;
+  usize pending_zero_ = 0;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) { return Assembler{}.run(source); }
+
+}  // namespace sempe::isa

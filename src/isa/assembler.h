@@ -1,0 +1,34 @@
+// A small text assembler for the SeMPE ISA.
+//
+// Intended for tests and examples; the workload generators use
+// ProgramBuilder directly. Grammar (one statement per line):
+//
+//   # comment                      ; comments run to end of line
+//   label:                         ; code label
+//   add x1, x2, x3                 ; any mnemonic from isa/opcode.h
+//   sjmp.beq x1, x0, target        ; secure-prefixed conditional branch
+//   jmp target                     ; pseudo: jal x0, target
+//   li x1, 42                      ; pseudo: limm
+//   la x1, buffer                  ; pseudo: load address of a data symbol
+//   mov x1, x2                     ; pseudo: addi x1, x2, 0
+//   ret                            ; pseudo: jalr x0, ra, 0
+//   .data buffer                   ; begin a named data block
+//   .word 1 2 3                    ; 64-bit words appended to current block
+//   .zero 128                      ; reserve zeroed bytes
+//   .text                          ; switch back to code
+//
+// Registers: x0..x31, f0..f15, and aliases zero, ra, sp. Data symbols must
+// be declared before they are referenced by `la`.
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace sempe::isa {
+
+/// Assemble source text into a Program. Throws SimError with a line number
+/// on any syntax error.
+Program assemble(const std::string& source);
+
+}  // namespace sempe::isa

@@ -1,0 +1,145 @@
+#include "isa/cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace sempe::isa {
+
+namespace {
+
+bool is_block_terminator(const Instruction& ins) {
+  switch (op_info(ins.op).op_class) {
+    case OpClass::kBranch:
+    case OpClass::kJump:
+    case OpClass::kJumpInd:
+      return true;
+    default:
+      return ins.op == Opcode::kHalt;
+  }
+}
+
+}  // namespace
+
+Cfg Cfg::build(const Program& program) {
+  Cfg cfg;
+  cfg.entry_ = program.entry();
+  const usize n = program.num_instructions();
+  SEMPE_CHECK_MSG(n > 0, "cannot build CFG of an empty program");
+
+  // Leaders: entry, branch targets, and fall-throughs of terminators.
+  std::set<Addr> leaders;
+  leaders.insert(program.entry());
+  for (usize i = 0; i < n; ++i) {
+    const Addr pc = program.pc_of(i);
+    const Instruction ins = program.fetch(pc);
+    const OpClass c = op_info(ins.op).op_class;
+    if (c == OpClass::kBranch || c == OpClass::kJump) {
+      const Addr target = static_cast<Addr>(static_cast<i64>(pc) + ins.imm);
+      SEMPE_CHECK_MSG(program.contains(target),
+                      "control transfer at 0x" << std::hex << pc
+                                               << " targets 0x" << target
+                                               << " outside the program");
+      leaders.insert(target);
+    }
+    if (is_block_terminator(ins) && i + 1 < n)
+      leaders.insert(program.pc_of(i + 1));
+  }
+
+  // Cut blocks at leaders.
+  std::vector<Addr> starts(leaders.begin(), leaders.end());
+  for (usize b = 0; b < starts.size(); ++b) {
+    BasicBlock blk;
+    blk.id = b;
+    blk.start = starts[b];
+    Addr end = (b + 1 < starts.size()) ? starts[b + 1]
+                                       : program.pc_of(n - 1) + kInstrBytes;
+    // A terminator inside the range ends the block early... cannot happen:
+    // fall-throughs of terminators are leaders, so blocks are maximal runs.
+    blk.end = end;
+    cfg.by_start_[blk.start] = b;
+    cfg.blocks_.push_back(blk);
+  }
+
+  // Edges.
+  for (BasicBlock& blk : cfg.blocks_) {
+    const Addr last = blk.end - kInstrBytes;
+    const Instruction ins = program.fetch(last);
+    const OpClass c = op_info(ins.op).op_class;
+    auto add_edge = [&cfg, &blk](Addr target) {
+      auto it = cfg.by_start_.find(target);
+      SEMPE_CHECK(it != cfg.by_start_.end());
+      blk.succs.push_back(it->second);
+    };
+    if (ins.op == Opcode::kHalt) {
+      blk.ends_in_halt = true;
+    } else if (c == OpClass::kBranch) {
+      add_edge(static_cast<Addr>(static_cast<i64>(last) + ins.imm));
+      if (blk.end < program.pc_of(n - 1) + kInstrBytes) add_edge(blk.end);
+    } else if (c == OpClass::kJump) {
+      add_edge(static_cast<Addr>(static_cast<i64>(last) + ins.imm));
+    } else if (c == OpClass::kJumpInd) {
+      blk.ends_in_indirect = true;  // successors unknown statically
+    } else if (blk.end < program.pc_of(n - 1) + kInstrBytes) {
+      add_edge(blk.end);  // plain fall-through
+    }
+  }
+  for (const BasicBlock& blk : cfg.blocks_) {
+    for (usize s : blk.succs) cfg.blocks_[s].preds.push_back(blk.id);
+  }
+  return cfg;
+}
+
+usize Cfg::block_id_of(Addr pc) const {
+  auto it = by_start_.upper_bound(pc);
+  SEMPE_CHECK_MSG(it != by_start_.begin(), "pc before first block");
+  --it;
+  const BasicBlock& b = blocks_[it->second];
+  SEMPE_CHECK_MSG(pc >= b.start && pc < b.end, "pc outside any block");
+  return b.id;
+}
+
+const BasicBlock& Cfg::block_of(Addr pc) const {
+  return blocks_[block_id_of(pc)];
+}
+
+std::vector<bool> Cfg::reachable() const {
+  std::vector<bool> seen(blocks_.size(), false);
+  std::vector<usize> stack = {block_id_of(entry_)};
+  // Indirect jumps (jalr) are conservatively assumed able to reach any
+  // block that is a jump/branch target or follows a call; for the toy
+  // programs here we simply mark all blocks reachable if any indirect
+  // terminator is reachable.
+  bool saw_indirect = false;
+  while (!stack.empty()) {
+    const usize b = stack.back();
+    stack.pop_back();
+    if (seen[b]) continue;
+    seen[b] = true;
+    if (blocks_[b].ends_in_indirect) saw_indirect = true;
+    for (usize s : blocks_[b].succs)
+      if (!seen[s]) stack.push_back(s);
+  }
+  if (saw_indirect) std::fill(seen.begin(), seen.end(), true);
+  return seen;
+}
+
+std::string Cfg::to_string() const {
+  std::ostringstream os;
+  for (const BasicBlock& b : blocks_) {
+    os << "BB" << b.id << " [0x" << std::hex << b.start << ", 0x" << b.end
+       << std::dec << ")";
+    if (b.ends_in_halt) os << " halt";
+    if (b.ends_in_indirect) os << " indirect";
+    if (!b.succs.empty()) {
+      os << " ->";
+      for (usize s : b.succs) os << " BB" << s;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sempe::isa

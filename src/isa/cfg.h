@@ -1,0 +1,51 @@
+// Control-flow graph construction over a Program.
+//
+// Used by the secure-region verifier (core/region_verifier.h) — the static
+// analysis half of the paper's compiler support — and handy for tooling
+// (basic-block listings, reachability).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace sempe::isa {
+
+struct BasicBlock {
+  usize id = 0;
+  Addr start = 0;            // address of the first instruction
+  Addr end = 0;              // address one past the last instruction
+  std::vector<usize> succs;  // successor block ids
+  std::vector<usize> preds;
+  bool ends_in_halt = false;
+  bool ends_in_indirect = false;  // jalr: successors unknown statically
+
+  usize num_instructions() const { return (end - start) / kInstrBytes; }
+};
+
+class Cfg {
+ public:
+  /// Build the CFG of a program. Branch/jump targets outside the code
+  /// segment raise SimError.
+  static Cfg build(const Program& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block_of(Addr pc) const;
+  usize block_id_of(Addr pc) const;
+  Addr entry() const { return entry_; }
+
+  /// Blocks reachable from the entry block.
+  std::vector<bool> reachable() const;
+
+  /// Human-readable listing (block boundaries + edges).
+  std::string to_string() const;
+
+ private:
+  Addr entry_ = 0;  // the CFG does not retain the Program (no dangling refs)
+  std::vector<BasicBlock> blocks_;
+  std::map<Addr, usize> by_start_;
+};
+
+}  // namespace sempe::isa

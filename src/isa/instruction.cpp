@@ -1,0 +1,154 @@
+#include "isa/instruction.h"
+
+#include <array>
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace sempe::isa {
+
+namespace {
+
+// One row per opcode, in enum order.
+//                         name     class                 rd     rs1    rs2    rdsRd  imm
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    {"add", OpClass::kIntAlu, true, true, true, false, false},
+    {"sub", OpClass::kIntAlu, true, true, true, false, false},
+    {"mul", OpClass::kIntMul, true, true, true, false, false},
+    {"div", OpClass::kIntDiv, true, true, true, false, false},
+    {"rem", OpClass::kIntDiv, true, true, true, false, false},
+    {"and", OpClass::kIntAlu, true, true, true, false, false},
+    {"or", OpClass::kIntAlu, true, true, true, false, false},
+    {"xor", OpClass::kIntAlu, true, true, true, false, false},
+    {"sll", OpClass::kIntAlu, true, true, true, false, false},
+    {"srl", OpClass::kIntAlu, true, true, true, false, false},
+    {"sra", OpClass::kIntAlu, true, true, true, false, false},
+    {"slt", OpClass::kIntAlu, true, true, true, false, false},
+    {"sltu", OpClass::kIntAlu, true, true, true, false, false},
+    {"seq", OpClass::kIntAlu, true, true, true, false, false},
+    {"sne", OpClass::kIntAlu, true, true, true, false, false},
+    {"addi", OpClass::kIntAlu, true, true, false, false, true},
+    {"andi", OpClass::kIntAlu, true, true, false, false, true},
+    {"ori", OpClass::kIntAlu, true, true, false, false, true},
+    {"xori", OpClass::kIntAlu, true, true, false, false, true},
+    {"slli", OpClass::kIntAlu, true, true, false, false, true},
+    {"srli", OpClass::kIntAlu, true, true, false, false, true},
+    {"srai", OpClass::kIntAlu, true, true, false, false, true},
+    {"slti", OpClass::kIntAlu, true, true, false, false, true},
+    {"limm", OpClass::kIntAlu, true, false, false, false, true},
+    {"cmov", OpClass::kIntAlu, true, true, true, true, false},
+    {"fadd", OpClass::kFpAlu, true, true, true, false, false},
+    {"fsub", OpClass::kFpAlu, true, true, true, false, false},
+    {"fmul", OpClass::kFpAlu, true, true, true, false, false},
+    {"fdiv", OpClass::kFpDiv, true, true, true, false, false},
+    {"i2f", OpClass::kFpAlu, true, true, false, false, false},
+    {"f2i", OpClass::kFpAlu, true, true, false, false, false},
+    {"fmov", OpClass::kFpAlu, true, true, false, false, false},
+    {"ld", OpClass::kLoad, true, true, false, false, true},
+    {"lw", OpClass::kLoad, true, true, false, false, true},
+    {"lbu", OpClass::kLoad, true, true, false, false, true},
+    {"st", OpClass::kStore, false, true, true, false, true},
+    {"sw", OpClass::kStore, false, true, true, false, true},
+    {"sb", OpClass::kStore, false, true, true, false, true},
+    {"beq", OpClass::kBranch, false, true, true, false, true},
+    {"bne", OpClass::kBranch, false, true, true, false, true},
+    {"blt", OpClass::kBranch, false, true, true, false, true},
+    {"bge", OpClass::kBranch, false, true, true, false, true},
+    {"bltu", OpClass::kBranch, false, true, true, false, true},
+    {"bgeu", OpClass::kBranch, false, true, true, false, true},
+    {"jal", OpClass::kJump, true, false, false, false, true},
+    {"jalr", OpClass::kJumpInd, true, true, false, false, true},
+    {"eosjmp", OpClass::kNop, false, false, false, false, false},
+    {"nop", OpClass::kNop, false, false, false, false, false},
+    {"halt", OpClass::kNop, false, false, false, false, false},
+}};
+
+void check_reg(Reg r) {
+  SEMPE_CHECK_MSG(r < kNumArchRegs, "register index " << int(r)
+                                                      << " out of range");
+}
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  SEMPE_CHECK(static_cast<usize>(op) < kNumOpcodes);
+  return kOpTable[static_cast<usize>(op)];
+}
+
+u64 encode(const Instruction& ins) {
+  SEMPE_CHECK(static_cast<usize>(ins.op) < kNumOpcodes);
+  check_reg(ins.rd);
+  check_reg(ins.rs1);
+  check_reg(ins.rs2);
+  SEMPE_CHECK_MSG(
+      ins.imm >= INT32_MIN && ins.imm <= INT32_MAX,
+      "immediate " << ins.imm << " does not fit in 32 bits (" << ins.to_string()
+                   << ")");
+  u64 w = 0;
+  w = bits_set(w, 0, 8, static_cast<u64>(ins.op));
+  w = bits_set(w, 8, 1, ins.secure ? 1 : 0);
+  w = bits_set(w, 9, 6, ins.rd);
+  w = bits_set(w, 15, 6, ins.rs1);
+  w = bits_set(w, 21, 6, ins.rs2);
+  w = bits_set(w, 32, 32, static_cast<u64>(ins.imm) & low_mask(32));
+  return w;
+}
+
+Instruction decode(u64 word) {
+  const u64 opc = bits_of(word, 0, 8);
+  SEMPE_CHECK_MSG(opc < kNumOpcodes, "invalid opcode byte " << opc);
+  SEMPE_CHECK_MSG(bits_of(word, 27, 5) == 0, "nonzero reserved bits");
+  Instruction ins;
+  ins.op = static_cast<Opcode>(opc);
+  ins.secure = bits_of(word, 8, 1) != 0;
+  ins.rd = static_cast<Reg>(bits_of(word, 9, 6));
+  ins.rs1 = static_cast<Reg>(bits_of(word, 15, 6));
+  ins.rs2 = static_cast<Reg>(bits_of(word, 21, 6));
+  check_reg(ins.rd);
+  check_reg(ins.rs1);
+  check_reg(ins.rs2);
+  ins.imm = sign_extend(bits_of(word, 32, 32), 32);
+  return ins;
+}
+
+std::string Instruction::to_string() const {
+  const OpInfo& info = op_info(op);
+  std::ostringstream os;
+  if (secure && is_cond_branch(op)) os << "sjmp.";
+  os << info.name;
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? " " : ", ");
+    first = false;
+  };
+  if (info.op_class == OpClass::kStore) {
+    // Match the assembler's operand order: st value, base, offset.
+    sep();
+    os << reg_name(rs2);
+    sep();
+    os << reg_name(rs1);
+    sep();
+    os << imm;
+    return os.str();
+  }
+  if (info.uses_rd) {
+    sep();
+    os << reg_name(rd);
+  }
+  if (info.uses_rs1) {
+    sep();
+    os << reg_name(rs1);
+  }
+  if (info.uses_rs2) {
+    sep();
+    os << reg_name(rs2);
+  }
+  if (info.has_imm) {
+    sep();
+    os << imm;
+  }
+  return os.str();
+}
+
+}  // namespace sempe::isa

@@ -1,0 +1,123 @@
+// Opcode definitions for the SeMPE target ISA.
+//
+// The paper extends x86_64 with a SecPrefix byte (0x2e) on branch
+// instructions and an End-of-SecureJump instruction encoded as a prefixed
+// NOP. We model the same *properties* on a compact 64-bit RISC-style ISA:
+// every instruction is one 64-bit word, conditional branches carry a secure
+// bit (the SecPrefix), and EOSJMP occupies an encoding a legacy core decodes
+// as NOP. See isa/instruction.h for the encoding.
+#pragma once
+
+#include <string_view>
+
+#include "util/types.h"
+
+namespace sempe::isa {
+
+enum class Opcode : u8 {
+  // Integer register-register ALU.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,   // signed divide; divide-by-zero yields all-ones (defined, no trap)
+  kRem,   // signed remainder; x % 0 yields x (defined, no trap)
+  kAnd,
+  kOr,
+  kXor,
+  kSll,
+  kSrl,
+  kSra,
+  kSlt,
+  kSltu,
+  kSeq,
+  kSne,
+  // Integer register-immediate ALU.
+  kAddi,
+  kAndi,
+  kOri,
+  kXori,
+  kSlli,
+  kSrli,
+  kSrai,
+  kSlti,
+  kLimm,  // rd = sign-extended 32-bit immediate
+  // Conditional move: rd = (rs1 != 0) ? rs2 : rd. Reads rd.
+  kCmov,
+  // Floating point (double precision).
+  kFadd,
+  kFsub,
+  kFmul,
+  kFdiv,
+  kI2f,   // int reg -> fp reg
+  kF2i,   // fp reg -> int reg (truncating)
+  kFmov,
+  // Memory. Effective address = rs1 + imm.
+  kLd,    // load 64-bit
+  kLw,    // load 32-bit sign-extended
+  kLbu,   // load byte zero-extended
+  kSt,    // store 64-bit (value in rs2)
+  kSw,    // store 32-bit
+  kSb,    // store byte
+  // Control flow. Branch/jump immediates are PC-relative byte offsets.
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kJal,   // rd = pc + 8; pc += imm
+  kJalr,  // rd = pc + 8; pc = (rs1 + imm)
+  // SeMPE join marker. Legacy cores execute it as NOP.
+  kEosjmp,
+  kNop,
+  kHalt,
+  kCount,
+};
+
+inline constexpr usize kNumOpcodes = static_cast<usize>(Opcode::kCount);
+
+/// Functional-unit class an opcode executes on; drives issue-port and
+/// latency selection in the timing model.
+enum class OpClass : u8 {
+  kIntAlu,
+  kIntMul,
+  kIntDiv,
+  kFpAlu,
+  kFpDiv,
+  kLoad,
+  kStore,
+  kBranch,   // conditional branches (secure-prefixable)
+  kJump,     // unconditional direct jumps (kJal)
+  kJumpInd,  // indirect jumps (kJalr)
+  kNop,      // kNop, kEosjmp (legacy view), kHalt
+};
+
+struct OpInfo {
+  std::string_view name;
+  OpClass op_class;
+  bool uses_rd;    // writes rd
+  bool uses_rs1;
+  bool uses_rs2;
+  bool reads_rd;   // CMOV reads its destination
+  bool has_imm;
+};
+
+/// Static metadata for an opcode.
+const OpInfo& op_info(Opcode op);
+
+inline std::string_view op_name(Opcode op) { return op_info(op).name; }
+
+inline bool is_cond_branch(Opcode op) {
+  return op_info(op).op_class == OpClass::kBranch;
+}
+inline bool is_load(Opcode op) { return op_info(op).op_class == OpClass::kLoad; }
+inline bool is_store(Opcode op) {
+  return op_info(op).op_class == OpClass::kStore;
+}
+inline bool is_mem(Opcode op) { return is_load(op) || is_store(op); }
+inline bool is_control(Opcode op) {
+  const OpClass c = op_info(op).op_class;
+  return c == OpClass::kBranch || c == OpClass::kJump || c == OpClass::kJumpInd;
+}
+
+}  // namespace sempe::isa

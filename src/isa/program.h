@@ -1,0 +1,63 @@
+// An executable image: encoded code plus initialized data segments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::isa {
+
+/// Default base address of the code segment.
+inline constexpr Addr kCodeBase = 0x10000;
+/// Default base address of the data region the ProgramBuilder allocates in.
+inline constexpr Addr kDataBase = 0x1000000;
+/// Default initial stack pointer (stack grows down).
+inline constexpr Addr kStackTop = 0x8000000;
+
+struct DataSegment {
+  Addr addr = 0;
+  std::vector<u8> bytes;
+};
+
+class Program {
+ public:
+  Program() = default;
+  Program(Addr code_base, std::vector<u64> code, std::vector<DataSegment> data)
+      : code_base_(code_base), code_(std::move(code)), data_(std::move(data)) {}
+
+  Addr code_base() const { return code_base_; }
+  Addr entry() const { return code_base_; }
+  usize num_instructions() const { return code_.size(); }
+  const std::vector<u64>& code() const { return code_; }
+  const std::vector<DataSegment>& data() const { return data_; }
+
+  /// Address of instruction i.
+  Addr pc_of(usize i) const { return code_base_ + i * kInstrBytes; }
+
+  /// True if pc falls inside the code segment.
+  bool contains(Addr pc) const {
+    return pc >= code_base_ && pc < code_base_ + code_.size() * kInstrBytes &&
+           (pc - code_base_) % kInstrBytes == 0;
+  }
+
+  /// Fetch + decode the instruction at pc. Throws SimError on a PC outside
+  /// the code segment (the simulated machine has no self-modifying code).
+  Instruction fetch(Addr pc) const {
+    SEMPE_CHECK_MSG(contains(pc), "instruction fetch outside code segment at 0x"
+                                      << std::hex << pc);
+    return decode(code_[(pc - code_base_) / kInstrBytes]);
+  }
+
+  /// Multi-line disassembly listing (for debugging and tests).
+  std::string disassemble() const;
+
+ private:
+  Addr code_base_ = kCodeBase;
+  std::vector<u64> code_;
+  std::vector<DataSegment> data_;
+};
+
+}  // namespace sempe::isa

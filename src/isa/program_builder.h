@@ -1,0 +1,163 @@
+// ProgramBuilder: an in-process assembler DSL.
+//
+// Workload generators construct programs through this interface: emit
+// instructions, bind labels with automatic branch fixups, and allocate
+// initialized data. This plays the role of the compiler + manual sJMP
+// instrumentation described in the paper's methodology (Section V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "util/check.h"
+
+namespace sempe::isa {
+
+enum class Secure : u8 { kNo, kYes };
+
+class ProgramBuilder {
+ public:
+  /// Opaque label handle.
+  struct Label {
+    u32 id = UINT32_MAX;
+  };
+
+  explicit ProgramBuilder(Addr code_base = kCodeBase, Addr data_base = kDataBase)
+      : code_base_(code_base), data_cursor_(data_base) {}
+
+  // --- Labels -------------------------------------------------------------
+
+  Label new_label();
+  /// Bind label to the next emitted instruction.
+  void bind(Label l);
+  /// Address a bound or future label will resolve to (usable after build()).
+  Addr label_addr(Label l) const;
+
+  // --- Raw emission -------------------------------------------------------
+
+  /// Emit one instruction; returns its address.
+  Addr emit(const Instruction& ins);
+  Addr here() const { return code_base_ + code_.size() * kInstrBytes; }
+  usize num_instructions() const { return code_.size(); }
+
+  // --- Integer ALU --------------------------------------------------------
+
+  void add(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kAdd, rd, rs1, rs2); }
+  void sub(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSub, rd, rs1, rs2); }
+  void mul(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kMul, rd, rs1, rs2); }
+  void div(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kDiv, rd, rs1, rs2); }
+  void rem(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kRem, rd, rs1, rs2); }
+  void and_(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kAnd, rd, rs1, rs2); }
+  void or_(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kOr, rd, rs1, rs2); }
+  void xor_(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kXor, rd, rs1, rs2); }
+  void sll(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSll, rd, rs1, rs2); }
+  void srl(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSrl, rd, rs1, rs2); }
+  void sra(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSra, rd, rs1, rs2); }
+  void slt(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSlt, rd, rs1, rs2); }
+  void sltu(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSltu, rd, rs1, rs2); }
+  void seq(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSeq, rd, rs1, rs2); }
+  void sne(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kSne, rd, rs1, rs2); }
+
+  void addi(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kAddi, rd, rs1, imm); }
+  void andi(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kAndi, rd, rs1, imm); }
+  void ori(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kOri, rd, rs1, imm); }
+  void xori(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kXori, rd, rs1, imm); }
+  void slli(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kSlli, rd, rs1, imm); }
+  void srli(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kSrli, rd, rs1, imm); }
+  void srai(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kSrai, rd, rs1, imm); }
+  void slti(Reg rd, Reg rs1, i64 imm) { emit_imm(Opcode::kSlti, rd, rs1, imm); }
+
+  /// Load a signed 32-bit constant.
+  void li(Reg rd, i64 imm);
+  /// Load any 64-bit constant (1–4 instructions).
+  void li64(Reg rd, i64 imm);
+  void mov(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void nop() { emit({.op = Opcode::kNop}); }
+
+  /// rd = (rc != 0) ? rs : rd — the constant-time select.
+  void cmov(Reg rd, Reg rc, Reg rs) {
+    emit({.op = Opcode::kCmov, .rd = rd, .rs1 = rc, .rs2 = rs});
+  }
+
+  // --- Floating point -----------------------------------------------------
+
+  void fadd(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kFadd, rd, rs1, rs2); }
+  void fsub(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kFsub, rd, rs1, rs2); }
+  void fmul(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kFmul, rd, rs1, rs2); }
+  void fdiv(Reg rd, Reg rs1, Reg rs2) { emit3(Opcode::kFdiv, rd, rs1, rs2); }
+  void i2f(Reg fd, Reg rs) { emit({.op = Opcode::kI2f, .rd = fd, .rs1 = rs}); }
+  void f2i(Reg rd, Reg fs) { emit({.op = Opcode::kF2i, .rd = rd, .rs1 = fs}); }
+  void fmov(Reg fd, Reg fs) { emit({.op = Opcode::kFmov, .rd = fd, .rs1 = fs}); }
+
+  // --- Memory ---------------------------------------------------------------
+
+  void ld(Reg rd, Reg base, i64 off) { emit_imm(Opcode::kLd, rd, base, off); }
+  void lw(Reg rd, Reg base, i64 off) { emit_imm(Opcode::kLw, rd, base, off); }
+  void lbu(Reg rd, Reg base, i64 off) { emit_imm(Opcode::kLbu, rd, base, off); }
+  void st(Reg val, Reg base, i64 off) { emit_store(Opcode::kSt, val, base, off); }
+  void sw(Reg val, Reg base, i64 off) { emit_store(Opcode::kSw, val, base, off); }
+  void sb(Reg val, Reg base, i64 off) { emit_store(Opcode::kSb, val, base, off); }
+
+  // --- Control flow ---------------------------------------------------------
+
+  void beq(Reg a, Reg b, Label t, Secure s = Secure::kNo) { br(Opcode::kBeq, a, b, t, s); }
+  void bne(Reg a, Reg b, Label t, Secure s = Secure::kNo) { br(Opcode::kBne, a, b, t, s); }
+  void blt(Reg a, Reg b, Label t, Secure s = Secure::kNo) { br(Opcode::kBlt, a, b, t, s); }
+  void bge(Reg a, Reg b, Label t, Secure s = Secure::kNo) { br(Opcode::kBge, a, b, t, s); }
+  void bltu(Reg a, Reg b, Label t, Secure s = Secure::kNo) { br(Opcode::kBltu, a, b, t, s); }
+  void bgeu(Reg a, Reg b, Label t, Secure s = Secure::kNo) { br(Opcode::kBgeu, a, b, t, s); }
+
+  void jmp(Label t) { br(Opcode::kJal, kRegZero, 0, t, Secure::kNo); }
+  void jal(Reg rd, Label t) { br(Opcode::kJal, rd, 0, t, Secure::kNo); }
+  void jalr(Reg rd, Reg rs1, i64 off = 0) {
+    emit({.op = Opcode::kJalr, .rd = rd, .rs1 = rs1, .imm = off});
+  }
+  void ret() { jalr(kRegZero, kRegRa); }
+  void eosjmp() { emit({.op = Opcode::kEosjmp}); }
+  void halt() { emit({.op = Opcode::kHalt}); }
+
+  // --- Data allocation ------------------------------------------------------
+
+  /// Reserve size bytes (zero-initialized) with the given alignment.
+  Addr alloc(usize size, usize align = 8);
+  /// Allocate and initialize an array of 64-bit words.
+  Addr alloc_words(const std::vector<i64>& words);
+  /// Allocate and initialize raw bytes.
+  Addr alloc_bytes(const std::vector<u8>& bytes);
+  /// Overwrite previously allocated data.
+  void poke_word(Addr addr, i64 value);
+
+  // --- Finalize ---------------------------------------------------------------
+
+  /// Resolve fixups and produce the program. Throws SimError if any label
+  /// used by a branch was never bound.
+  Program build();
+
+ private:
+  struct Fixup {
+    usize instr_index;
+    u32 label_id;
+  };
+
+  void emit3(Opcode op, Reg rd, Reg rs1, Reg rs2) {
+    emit({.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+  }
+  void emit_imm(Opcode op, Reg rd, Reg rs1, i64 imm) {
+    emit({.op = op, .rd = rd, .rs1 = rs1, .imm = imm});
+  }
+  void emit_store(Opcode op, Reg val, Reg base, i64 off) {
+    emit({.op = op, .rs1 = base, .rs2 = val, .imm = off});
+  }
+  void br(Opcode op, Reg a, Reg b, Label t, Secure s);
+
+  Addr code_base_;
+  std::vector<Instruction> code_;
+  std::vector<i64> label_addrs_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  Addr data_cursor_;
+  std::vector<DataSegment> data_;
+  bool built_ = false;
+};
+
+}  // namespace sempe::isa

@@ -1,0 +1,42 @@
+// Architectural register naming.
+//
+// The machine has 48 architectural registers, matching the count the paper
+// uses when sizing ArchRS snapshots (48 registers, AMD64 incl. SSE state in
+// the paper; 32 integer + 16 floating point here). Register indices are
+// unified: 0..31 are integer registers x0..x31 (x0 is hardwired zero),
+// 32..47 are floating-point registers f0..f15.
+#pragma once
+
+#include <string>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::isa {
+
+using Reg = u8;
+
+inline constexpr usize kNumIntRegs = 32;
+inline constexpr usize kNumFpRegs = 16;
+inline constexpr usize kNumArchRegs = kNumIntRegs + kNumFpRegs;  // 48
+
+inline constexpr Reg kRegZero = 0;  // x0: always reads 0, writes discarded
+
+/// Conventional assembler aliases (a RISC-style software convention; the
+/// hardware treats all of x1..x31 identically).
+inline constexpr Reg kRegRa = 1;   // return address
+inline constexpr Reg kRegSp = 2;   // stack pointer
+
+constexpr Reg int_reg(usize i) { return static_cast<Reg>(i); }
+constexpr Reg fp_reg(usize i) { return static_cast<Reg>(kNumIntRegs + i); }
+
+constexpr bool is_int_reg(Reg r) { return r < kNumIntRegs; }
+constexpr bool is_fp_reg(Reg r) { return r >= kNumIntRegs && r < kNumArchRegs; }
+
+inline std::string reg_name(Reg r) {
+  SEMPE_CHECK(r < kNumArchRegs);
+  if (is_int_reg(r)) return "x" + std::to_string(r);
+  return "f" + std::to_string(r - kNumIntRegs);
+}
+
+}  // namespace sempe::isa

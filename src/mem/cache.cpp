@@ -1,0 +1,99 @@
+#include "mem/cache.h"
+
+namespace sempe::mem {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  SEMPE_CHECK_MSG(cfg.line_bytes > 0 && is_pow2(cfg.line_bytes),
+                  "cache line size must be a power of two");
+  SEMPE_CHECK_MSG(cfg.assoc > 0, "associativity must be positive");
+  SEMPE_CHECK_MSG(cfg.size_bytes % (cfg.line_bytes * cfg.assoc) == 0,
+                  "cache size not divisible by way size");
+  num_sets_ = cfg.size_bytes / cfg.line_bytes / cfg.assoc;
+  SEMPE_CHECK_MSG(is_pow2(num_sets_), "number of sets must be a power of two");
+  lines_.resize(num_sets_ * cfg.assoc);
+}
+
+CacheAccessResult Cache::access(Addr addr, bool is_write) {
+  stats_.add("accesses");
+  if (is_write) stats_.add("writes");
+  const usize set = set_index(addr);
+  const u64 tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.assoc];
+
+  for (usize w = 0; w < cfg_.assoc; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = ++lru_clock_;
+      if (is_write) l.dirty = true;
+      return {.hit = true};
+    }
+  }
+
+  stats_.add("misses");
+  // Choose victim: first invalid way, else LRU.
+  Line* victim = &base[0];
+  for (usize w = 0; w < cfg_.assoc; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  CacheAccessResult r;
+  if (victim->valid && victim->dirty) {
+    r.writeback = true;
+    r.victim_line =
+        (victim->tag * num_sets_ + set) * cfg_.line_bytes;
+    stats_.add("writebacks");
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru = ++lru_clock_;
+  return r;
+}
+
+bool Cache::prefetch_fill(Addr addr) {
+  const usize set = set_index(addr);
+  const u64 tag = tag_of(addr);
+  Line* base = &lines_[set * cfg_.assoc];
+  for (usize w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == tag) return false;
+  }
+  stats_.add("prefetch_fills");
+  Line* victim = &base[0];
+  for (usize w = 0; w < cfg_.assoc; ++w) {
+    Line& l = base[w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.lru < victim->lru) victim = &l;
+  }
+  if (victim->valid && victim->dirty) stats_.add("writebacks");
+  victim->valid = true;
+  victim->dirty = false;
+  victim->tag = tag;
+  // Prefetched lines are inserted at LRU+ position but below demand fills is
+  // a refinement we skip; plain MRU insertion is fine for this study.
+  victim->lru = ++lru_clock_;
+  return true;
+}
+
+bool Cache::probe(Addr addr) const {
+  const usize set = set_index(addr);
+  const u64 tag = tag_of(addr);
+  const Line* base = &lines_[set * cfg_.assoc];
+  for (usize w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) l = Line{};
+  lru_clock_ = 0;
+}
+
+}  // namespace sempe::mem

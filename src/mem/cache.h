@@ -1,0 +1,79 @@
+// Set-associative write-back, write-allocate cache with LRU replacement.
+//
+// The cache tracks tags and dirty bits only (data values live in
+// MainMemory; the timing model needs hit/miss behavior, not cached bytes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace sempe::mem {
+
+struct CacheConfig {
+  std::string name = "cache";
+  usize size_bytes = 32 * 1024;
+  usize assoc = 2;
+  usize line_bytes = 64;
+};
+
+/// Result of a single cache access.
+struct CacheAccessResult {
+  bool hit = false;
+  bool writeback = false;  // a dirty victim was evicted
+  Addr victim_line = 0;    // line address of the evicted victim (if any)
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  const CacheConfig& config() const { return cfg_; }
+  usize num_sets() const { return num_sets_; }
+  Addr line_of(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
+
+  /// Demand access. Misses allocate the line.
+  CacheAccessResult access(Addr addr, bool is_write);
+
+  /// Prefetch fill: allocates the line but does not count as a demand
+  /// access. Returns false if the line was already present.
+  bool prefetch_fill(Addr addr);
+
+  /// True if the line containing addr is currently resident.
+  bool probe(Addr addr) const;
+
+  /// Invalidate everything (used between experiment runs).
+  void flush();
+
+  // Statistics.
+  u64 demand_accesses() const { return stats_.get("accesses"); }
+  u64 demand_misses() const { return stats_.get("misses"); }
+  double miss_rate() const { return stats_.ratio("misses", "accesses"); }
+  const StatSet& stats() const { return stats_; }
+  void reset_stats() { stats_.clear(); }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    u64 tag = 0;
+    u64 lru = 0;  // larger = more recently used
+  };
+
+  usize set_index(Addr a) const {
+    return static_cast<usize>((a / cfg_.line_bytes) & (num_sets_ - 1));
+  }
+  u64 tag_of(Addr a) const { return a / cfg_.line_bytes / num_sets_; }
+
+  CacheConfig cfg_;
+  usize num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * assoc, set-major
+  u64 lru_clock_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace sempe::mem

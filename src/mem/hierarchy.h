@@ -1,0 +1,66 @@
+// The cache hierarchy of Table II: IL1 16KB/2-way, DL1 32KB/2-way,
+// unified L2 256KB/2-way, stride prefetcher at L1D, stream prefetcher at L2.
+//
+// An access walks IL1/DL1 -> L2 -> DRAM and returns the composed latency in
+// cycles. Latencies are deterministic per access (no bank/MSHR contention
+// model); see DESIGN.md §6.
+#pragma once
+
+#include <memory>
+
+#include "mem/cache.h"
+#include "mem/prefetcher.h"
+#include "util/stats.h"
+
+namespace sempe::mem {
+
+struct HierarchyConfig {
+  CacheConfig il1{.name = "IL1", .size_bytes = 16 * 1024, .assoc = 2};
+  CacheConfig dl1{.name = "DL1", .size_bytes = 32 * 1024, .assoc = 2};
+  CacheConfig l2{.name = "L2", .size_bytes = 256 * 1024, .assoc = 2};
+  Cycle il1_hit_latency = 2;
+  Cycle dl1_hit_latency = 3;
+  Cycle l2_hit_latency = 12;
+  Cycle dram_latency = 200;
+  bool enable_prefetchers = true;
+  StridePrefetcher::Config stride{};
+  StreamPrefetcher::Config stream{};
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const HierarchyConfig& cfg = {});
+
+  /// Instruction fetch of the line containing pc. Returns total latency.
+  Cycle access_instr(Addr pc);
+
+  /// Data access. pc is the load/store PC (drives the stride prefetcher).
+  Cycle access_data(Addr addr, bool is_write, Addr pc);
+
+  const Cache& il1() const { return *il1_; }
+  const Cache& dl1() const { return *dl1_; }
+  const Cache& l2() const { return *l2_; }
+
+  /// Empty all caches and reset prefetcher state (not statistics).
+  void flush();
+  void reset_stats();
+
+  /// A digest of the resident line set, used by the security checker to
+  /// compare attacker-visible cache state across secrets.
+  u64 state_digest() const;
+
+  const HierarchyConfig& config() const { return cfg_; }
+
+ private:
+  /// L2 access shared by both L1s. Returns latency beyond the L1 miss.
+  Cycle access_l2(Addr addr, bool is_write);
+
+  HierarchyConfig cfg_;
+  std::unique_ptr<Cache> il1_;
+  std::unique_ptr<Cache> dl1_;
+  std::unique_ptr<Cache> l2_;
+  StridePrefetcher stride_;
+  StreamPrefetcher stream_;
+};
+
+}  // namespace sempe::mem

@@ -1,0 +1,64 @@
+// Sparse byte-addressable main memory.
+//
+// Pages are allocated lazily and read as zero before first write, so
+// workloads may use large address ranges without host-memory cost.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::mem {
+
+class MainMemory {
+ public:
+  static constexpr usize kPageBits = 12;
+  static constexpr usize kPageSize = 1ull << kPageBits;
+
+  u8 read_u8(Addr a) const {
+    const Page* p = find(a);
+    return p ? (*p)[a & (kPageSize - 1)] : 0;
+  }
+  void write_u8(Addr a, u8 v) { page(a)[a & (kPageSize - 1)] = v; }
+
+  u64 read(Addr a, usize size) const {
+    SEMPE_CHECK(size >= 1 && size <= 8);
+    u64 v = 0;
+    for (usize i = 0; i < size; ++i)
+      v |= static_cast<u64>(read_u8(a + i)) << (8 * i);
+    return v;
+  }
+  void write(Addr a, u64 v, usize size) {
+    SEMPE_CHECK(size >= 1 && size <= 8);
+    for (usize i = 0; i < size; ++i) write_u8(a + i, static_cast<u8>(v >> (8 * i)));
+  }
+
+  u64 read_u64(Addr a) const { return read(a, 8); }
+  void write_u64(Addr a, u64 v) { write(a, v, 8); }
+
+  void write_bytes(Addr a, const u8* data, usize n) {
+    for (usize i = 0; i < n; ++i) write_u8(a + i, data[i]);
+  }
+
+  usize num_touched_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<u8, kPageSize>;
+
+  const Page* find(Addr a) const {
+    auto it = pages_.find(a >> kPageBits);
+    return it == pages_.end() ? nullptr : it->second.get();
+  }
+  Page& page(Addr a) {
+    auto& p = pages_[a >> kPageBits];
+    if (!p) p = std::make_unique<Page>(Page{});
+    return *p;
+  }
+
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace sempe::mem

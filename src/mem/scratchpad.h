@@ -1,0 +1,60 @@
+// Scratchpad memory (SPM) used by the ArchRS snapshot mechanism.
+//
+// Table II: 216KB, up to 30 snapshots, 64 bytes/cycle read/write
+// throughput. Each snapshot slot holds two architectural register states
+// plus two modified-register bit-vectors (Figure 6); the nesting level is
+// the slot offset.
+#pragma once
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::mem {
+
+struct SpmConfig {
+  usize size_bytes = 216 * 1024;
+  usize max_snapshots = 30;
+  usize bytes_per_cycle = 64;
+};
+
+class Scratchpad {
+ public:
+  explicit Scratchpad(const SpmConfig& cfg = {}) : cfg_(cfg) {
+    SEMPE_CHECK(cfg.bytes_per_cycle > 0);
+    SEMPE_CHECK(cfg.max_snapshots > 0);
+  }
+
+  const SpmConfig& config() const { return cfg_; }
+
+  /// Size of one snapshot slot given the architectural register count:
+  /// two register states (8 bytes each) + two bit-vectors rounded up to
+  /// 8-byte granules. With 48 registers this is 784 bytes per state pair
+  /// — the paper quotes 7392 bytes total for its slightly larger x86 state;
+  /// the *mechanism* (level-indexed slots) is identical.
+  usize snapshot_slot_bytes(usize num_arch_regs) const {
+    const usize regs = 2 * num_arch_regs * 8;
+    const usize vectors = 2 * ((num_arch_regs + 63) / 64) * 8;
+    return regs + vectors;
+  }
+
+  /// Cycles to move n bytes at the configured throughput (ceiling).
+  Cycle transfer_cycles(usize bytes) const {
+    return (bytes + cfg_.bytes_per_cycle - 1) / cfg_.bytes_per_cycle;
+  }
+
+  /// True if `levels` nested snapshots fit in the SPM.
+  bool fits(usize levels, usize num_arch_regs) const {
+    return levels <= cfg_.max_snapshots &&
+           levels * snapshot_slot_bytes(num_arch_regs) <= cfg_.size_bytes;
+  }
+
+  u64 total_bytes_moved() const { return bytes_moved_; }
+  void account_transfer(usize bytes) { bytes_moved_ += bytes; }
+  void reset_stats() { bytes_moved_ = 0; }
+
+ private:
+  SpmConfig cfg_;
+  u64 bytes_moved_ = 0;
+};
+
+}  // namespace sempe::mem

@@ -1,0 +1,55 @@
+// Machine timing parameters (Table II of the paper).
+#pragma once
+
+#include "branch/ittage.h"
+#include "branch/tage.h"
+#include "mem/hierarchy.h"
+#include "util/types.h"
+
+namespace sempe::pipeline {
+
+struct PipelineConfig {
+  // Front end.
+  u32 fetch_width = 8;          // instructions / cycle
+  u32 decode_width = 8;         // µops / cycle (1 µop per instruction here)
+  u32 rename_width = 8;
+  Cycle front_end_depth = 4;    // fetch->rename stages (redirect penalty)
+  Cycle btb_miss_penalty = 2;   // decode-stage redirect for taken branches
+
+  // Out-of-order window.
+  u32 issue_width = 8;
+  u32 load_issue_width = 2;
+  u32 retire_width = 12;
+  u32 rob_entries = 192;
+  u32 phys_int_regs = 256;
+  u32 phys_fp_regs = 256;
+  u32 iq_int_entries = 60;
+  u32 iq_fp_entries = 60;
+  u32 load_queue = 32;
+  u32 store_queue = 32;
+
+  // Functional units.
+  u32 alu_units = 4;
+  u32 mul_units = 1;
+  u32 fp_units = 2;
+  u32 store_ports = 1;
+  Cycle alu_latency = 1;
+  Cycle mul_latency = 3;
+  Cycle div_latency = 20;       // unpipelined, data-independent
+  Cycle fp_latency = 4;
+  Cycle fp_div_latency = 20;    // unpipelined
+  Cycle load_base_latency = 1;  // AGU + issue-to-cache overhead
+  Cycle forward_latency = 2;    // store-to-load forwarding
+
+  // SeMPE scratchpad throughput (Table II: 64 bytes/cycle R/W).
+  u32 spm_bytes_per_cycle = 64;
+
+  // Memory + predictors.
+  mem::HierarchyConfig memory{};
+  branch::TageConfig tage{};
+  branch::ItTageConfig ittage{};
+  usize btb_entries = 4096;
+  usize ras_depth = 32;
+};
+
+}  // namespace sempe::pipeline

@@ -1,0 +1,55 @@
+// Per-cycle structural-resource allocator.
+//
+// Models a resource with `width` slots per cycle (fetch slots, rename
+// slots, issue ports, FU pipes, retire slots): alloc(earliest) returns the
+// first cycle >= earliest with a free slot and consumes it. Allocation
+// requests arrive with non-decreasing `earliest` only in aggregate, so the
+// window is kept as a deque indexed from a moving base.
+#pragma once
+
+#include <deque>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe::pipeline {
+
+class WidthLimiter {
+ public:
+  explicit WidthLimiter(u32 width) : width_(width) { SEMPE_CHECK(width > 0); }
+
+  Cycle alloc(Cycle earliest) {
+    if (earliest < base_) earliest = base_;
+    Cycle c = earliest;
+    ensure(c);
+    while (counts_[static_cast<usize>(c - base_)] >= width_) {
+      ++c;
+      ensure(c);
+    }
+    ++counts_[static_cast<usize>(c - base_)];
+    return c;
+  }
+
+  /// Drop bookkeeping for cycles before `before` (no allocations that early
+  /// will ever be requested again).
+  void prune(Cycle before) {
+    while (base_ < before && !counts_.empty()) {
+      counts_.pop_front();
+      ++base_;
+    }
+    if (counts_.empty()) base_ = before;
+  }
+
+  u32 width() const { return width_; }
+
+ private:
+  void ensure(Cycle c) {
+    while (base_ + counts_.size() <= c) counts_.push_back(0);
+  }
+
+  u32 width_;
+  Cycle base_ = 0;
+  std::deque<u32> counts_;
+};
+
+}  // namespace sempe::pipeline

@@ -1,0 +1,30 @@
+#include "security/channel.h"
+
+#include <cmath>
+
+namespace sempe::security {
+
+double ChannelEstimate::leaked_bits() const {
+  return num_classes <= 1 ? 0.0 : std::log2(static_cast<double>(num_classes));
+}
+
+ChannelEstimate estimate_channel(
+    const std::vector<ObservationTrace>& traces) {
+  ChannelEstimate e;
+  e.num_traces = traces.size();
+  std::vector<const ObservationTrace*> reps;
+  for (const ObservationTrace& t : traces) {
+    bool found = false;
+    for (const ObservationTrace* r : reps) {
+      if (!compare(*r, t).distinguishable) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) reps.push_back(&t);
+  }
+  e.num_classes = reps.size();
+  return e;
+}
+
+}  // namespace sempe::security

@@ -1,0 +1,29 @@
+// Leakage quantification: how many secrets can the attacker tell apart?
+//
+// Runs over a set of observation traces collected with different secrets;
+// traces that compare equal fall into the same indistinguishability class.
+// The attacker can extract at most log2(#classes) bits per observation —
+// 0 bits when everything collapses into one class (the SeMPE goal), up to
+// log2(N) bits when every secret is distinguishable (a fully leaky
+// implementation).
+#pragma once
+
+#include <vector>
+
+#include "security/observation.h"
+
+namespace sempe::security {
+
+struct ChannelEstimate {
+  usize num_traces = 0;
+  usize num_classes = 0;
+  /// Upper bound on bits extractable per observation: log2(num_classes).
+  double leaked_bits() const;
+  /// True iff every trace is indistinguishable from every other.
+  bool closed() const { return num_classes <= 1; }
+};
+
+/// Partition traces into indistinguishability classes (pairwise compare()).
+ChannelEstimate estimate_channel(const std::vector<ObservationTrace>& traces);
+
+}  // namespace sempe::security

@@ -1,0 +1,79 @@
+#include "security/observation.h"
+
+#include <sstream>
+
+namespace sempe::security {
+
+void ObservationRecorder::attach(cpu::FunctionalCore& core) {
+  core.on_fetch = [this](Addr pc) {
+    const Addr line = pc & line_mask_;
+    trace_.fetch_hash = ObservationTrace::fnv(trace_.fetch_hash, line);
+    ++trace_.fetch_count;
+    if (trace_.fetch_prefix.size() < ObservationTrace::kPrefixCapacity)
+      trace_.fetch_prefix.push_back(line);
+  };
+  core.on_mem_access = [this](Addr addr, u8 size, bool store) {
+    (void)size;
+    const u64 ev = ((addr & line_mask_) << 1) | (store ? 1 : 0);
+    trace_.mem_hash = ObservationTrace::fnv(trace_.mem_hash, ev);
+    ++trace_.mem_count;
+    if (trace_.mem_prefix.size() < ObservationTrace::kPrefixCapacity)
+      trace_.mem_prefix.push_back(ev);
+  };
+}
+
+Distinguisher compare(const ObservationTrace& a, const ObservationTrace& b) {
+  Distinguisher d;
+  auto flag = [&d](const char* name) {
+    d.distinguishable = true;
+    d.channels.push_back(name);
+  };
+
+  if (a.total_cycles != b.total_cycles) flag("timing");
+  if (a.fetch_hash != b.fetch_hash || a.fetch_count != b.fetch_count)
+    flag("instruction-fetch");
+  if (a.mem_hash != b.mem_hash || a.mem_count != b.mem_count)
+    flag("memory-address");
+  if (a.predictor_digest != b.predictor_digest) flag("branch-predictor");
+  if (a.cache_digest != b.cache_digest) flag("cache-state");
+
+  if (d.distinguishable) {
+    std::ostringstream os;
+    for (usize i = 0; i < a.fetch_prefix.size() && i < b.fetch_prefix.size();
+         ++i) {
+      if (a.fetch_prefix[i] != b.fetch_prefix[i]) {
+        os << "first fetch divergence at event " << i << ": 0x" << std::hex
+           << a.fetch_prefix[i] << " vs 0x" << b.fetch_prefix[i];
+        break;
+      }
+    }
+    if (os.str().empty()) {
+      for (usize i = 0; i < a.mem_prefix.size() && i < b.mem_prefix.size();
+           ++i) {
+        if (a.mem_prefix[i] != b.mem_prefix[i]) {
+          os << "first memory divergence at event " << i << ": 0x" << std::hex
+             << (a.mem_prefix[i] >> 1) << (a.mem_prefix[i] & 1 ? " (store)" : " (load)")
+             << " vs 0x" << (b.mem_prefix[i] >> 1)
+             << (b.mem_prefix[i] & 1 ? " (store)" : " (load)");
+          break;
+        }
+      }
+    }
+    if (os.str().empty() && a.total_cycles != b.total_cycles) {
+      os << "cycles " << std::dec << a.total_cycles << " vs " << b.total_cycles;
+    }
+    d.detail = os.str();
+  }
+  return d;
+}
+
+std::string Distinguisher::to_string() const {
+  if (!distinguishable) return "indistinguishable";
+  std::ostringstream os;
+  os << "DISTINGUISHABLE via";
+  for (const auto& c : channels) os << ' ' << c;
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+}  // namespace sempe::security

@@ -1,0 +1,80 @@
+// Attacker-observable execution traces and the indistinguishability check.
+//
+// The threat model (Section III) grants the attacker: coarse timing, shared
+// cache prime+probe (data/instruction line addresses), and branch-predictor
+// priming. We record each channel and compare runs that differ only in
+// secret values; SeMPE's security claim is that all channels match.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/functional_core.h"
+#include "util/types.h"
+
+namespace sempe::security {
+
+/// One run's observable footprint. Channels are kept as rolling FNV-1a
+/// hashes plus counts (bounded memory for 100M-instruction runs); the first
+/// `kPrefixCapacity` raw events per channel are also kept so tests can
+/// pinpoint the first divergence.
+struct ObservationTrace {
+  static constexpr usize kPrefixCapacity = 4096;
+
+  Cycle total_cycles = 0;       // timing channel
+  u64 fetch_hash = kFnvInit;    // instruction line address stream
+  u64 fetch_count = 0;
+  u64 mem_hash = kFnvInit;      // data line address + direction stream
+  u64 mem_count = 0;
+  u64 predictor_digest = 0;     // TAGE/ITTAGE/BTB/RAS state after the run
+  u64 cache_digest = 0;         // cache access/miss counter digest
+
+  std::vector<Addr> fetch_prefix;
+  std::vector<u64> mem_prefix;  // (line << 1) | is_store
+
+  static constexpr u64 kFnvInit = 1469598103934665603ull;
+  static u64 fnv(u64 h, u64 v) {
+    h ^= v;
+    h *= 1099511628211ull;
+    return h;
+  }
+
+  bool operator==(const ObservationTrace&) const = default;
+};
+
+/// Records the observable channels of a FunctionalCore run by installing
+/// its hooks. Line granularity matches the attacker's cache-line view.
+class ObservationRecorder {
+ public:
+  explicit ObservationRecorder(usize line_bytes = 64)
+      : line_mask_(~static_cast<Addr>(line_bytes - 1)) {}
+
+  /// Install hooks on the core. Any previous hooks are replaced.
+  void attach(cpu::FunctionalCore& core);
+
+  /// Fill in the post-run channel values (timing, predictor/cache digests).
+  void set_timing(Cycle cycles) { trace_.total_cycles = cycles; }
+  void set_predictor_digest(u64 d) { trace_.predictor_digest = d; }
+  void set_cache_digest(u64 d) { trace_.cache_digest = d; }
+
+  const ObservationTrace& trace() const { return trace_; }
+
+ private:
+  Addr line_mask_;
+  ObservationTrace trace_;
+};
+
+/// Result of comparing two observation traces.
+struct Distinguisher {
+  bool distinguishable = false;
+  std::vector<std::string> channels;  // which channels diverged
+  std::string detail;                 // first divergence, if locatable
+
+  std::string to_string() const;
+};
+
+/// Compare the observable channels of two runs (e.g. secret=0 vs secret=1).
+Distinguisher compare(const ObservationTrace& a, const ObservationTrace& b);
+
+}  // namespace sempe::security

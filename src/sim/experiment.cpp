@@ -1,0 +1,111 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+
+namespace sempe::sim {
+
+using workloads::BuiltMicrobench;
+using workloads::MicrobenchConfig;
+using workloads::Variant;
+
+namespace {
+
+RunResult run_built(const isa::Program& program, cpu::ExecMode mode,
+                    const MicrobenchOptions& opt = {}) {
+  RunConfig rc;
+  rc.mode = mode;
+  rc.record_observations = false;  // timing only; observation runs are tests
+  rc.core.snapshot_model = opt.snapshot_model;
+  rc.pipe.spm_bytes_per_cycle = opt.spm_bytes_per_cycle;
+  rc.pipe.memory.enable_prefetchers = opt.enable_prefetchers;
+  rc.pipe.front_end_depth += opt.extra_front_end_depth;
+  if (opt.rename_width_override != 0)
+    rc.pipe.rename_width = opt.rename_width_override;
+  return run(program, rc);
+}
+
+}  // namespace
+
+MicrobenchPoint measure_microbench(workloads::Kind kind, usize width,
+                                   const MicrobenchOptions& opt) {
+  MicrobenchPoint pt;
+  pt.kind = kind;
+  pt.width = width;
+
+  MicrobenchConfig cfg;
+  cfg.kind = kind;
+  cfg.width = width;
+  cfg.iterations = opt.iterations;
+  cfg.size = opt.size;
+  cfg.input_seed = opt.input_seed;
+  cfg.secrets.assign(width, 0);  // all false at run time
+
+  // Baseline and SeMPE: the same annotated binary, two modes.
+  cfg.variant = Variant::kSecure;
+  const BuiltMicrobench secure = build_microbench(cfg);
+  {
+    const RunResult r = run_built(secure.program, cpu::ExecMode::kLegacy, opt);
+    pt.baseline_cycles = r.cycles();
+    pt.baseline_instructions = r.instructions;
+  }
+  {
+    const RunResult r = run_built(secure.program, cpu::ExecMode::kSempe, opt);
+    pt.sempe_cycles = r.cycles();
+    pt.sempe_instructions = r.instructions;
+  }
+
+  // CTE (FaCT-style) binary on the legacy core.
+  cfg.variant = Variant::kCte;
+  const BuiltMicrobench cte = build_microbench(cfg);
+  {
+    const RunResult r = run_built(cte.program, cpu::ExecMode::kLegacy, opt);
+    pt.cte_cycles = r.cycles();
+    pt.cte_instructions = r.instructions;
+  }
+
+  // Ideal (combined): all paths execute once in a single legacy run.
+  cfg.variant = Variant::kSecure;
+  cfg.secrets.assign(width, 1);
+  const BuiltMicrobench all_true = build_microbench(cfg);
+  pt.ideal_combined_cycles =
+      run_built(all_true.program, cpu::ExecMode::kLegacy, opt).cycles();
+
+  // Ideal (standalone): each path costed in isolation = (W+1) x the
+  // single-workload run.
+  MicrobenchConfig single = cfg;
+  single.width = 0;
+  single.secrets.clear();
+  const BuiltMicrobench one = build_microbench(single);
+  const Cycle t1 =
+      run_built(one.program, cpu::ExecMode::kLegacy, opt).cycles();
+  pt.ideal_standalone_cycles = static_cast<Cycle>(width + 1) * t1;
+
+  return pt;
+}
+
+DjpegPoint measure_djpeg(workloads::OutputFormat fmt, usize pixels,
+                         usize scale, u64 image_seed) {
+  DjpegPoint pt;
+  pt.format = fmt;
+  pt.pixels = pixels;
+
+  workloads::DjpegConfig cfg;
+  cfg.format = fmt;
+  cfg.pixels = pixels;
+  cfg.scale = scale;
+  cfg.image_seed = image_seed;
+  const workloads::BuiltDjpeg built = build_djpeg(cfg);
+
+  pt.baseline = run_built(built.program, cpu::ExecMode::kLegacy).stats;
+  pt.sempe = run_built(built.program, cpu::ExecMode::kSempe).stats;
+  return pt;
+}
+
+usize env_usize(const char* name, usize fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<usize>(parsed) : fallback;
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,94 @@
+// Experiment drivers for the paper's evaluation (Section VI).
+//
+// A "point" bundles the runs needed for one x-axis position of a figure:
+//
+//   baseline — the sJMP-annotated binary on the legacy core (the paper's
+//              unprotected baseline; prefixes are ignored).
+//   sempe    — the same binary on the SeMPE core.
+//   cte      — the FaCT-style constant-time binary on the legacy core.
+//   ideal    — two operational definitions of the sum-of-paths ideal:
+//              `ideal_combined`: legacy run with all secrets true (every
+//              path executes once within a single run — includes cross-path
+//              locality), and `ideal_standalone`: (W+1) x the time of a
+//              single-workload run (each path costed in isolation, the
+//              paper's definition; SeMPE can beat this via the prefetching
+//              effect).
+#pragma once
+
+#include "sim/simulator.h"
+#include "workloads/djpeg.h"
+#include "workloads/microbench.h"
+
+namespace sempe::sim {
+
+struct MicrobenchOptions {
+  usize iterations = 60;
+  usize size = 0;  // 0 = per-kind default
+  u64 input_seed = 42;
+  // Machine knobs for ablation studies (applied to every run of a point):
+  cpu::SnapshotModel snapshot_model = cpu::SnapshotModel::kArchRS;
+  u32 spm_bytes_per_cycle = 64;
+  bool enable_prefetchers = true;
+  Cycle extra_front_end_depth = 0;  // e.g. the LRS rename-table stage
+  u32 rename_width_override = 0;    // 0 = Table II default; LRS tag-port cost
+};
+
+struct MicrobenchPoint {
+  workloads::Kind kind{};
+  usize width = 0;
+  Cycle baseline_cycles = 0;
+  Cycle sempe_cycles = 0;
+  Cycle cte_cycles = 0;
+  Cycle ideal_combined_cycles = 0;
+  Cycle ideal_standalone_cycles = 0;
+  u64 baseline_instructions = 0;
+  u64 sempe_instructions = 0;
+  u64 cte_instructions = 0;
+
+  double sempe_slowdown() const { return ratio(sempe_cycles, baseline_cycles); }
+  double cte_slowdown() const { return ratio(cte_cycles, baseline_cycles); }
+  double sempe_vs_ideal_combined() const {
+    return ratio(sempe_cycles, ideal_combined_cycles);
+  }
+  double sempe_vs_ideal_standalone() const {
+    return ratio(sempe_cycles, ideal_standalone_cycles);
+  }
+  double cte_vs_sempe() const { return ratio(cte_cycles, sempe_cycles); }
+
+  static double ratio(Cycle a, Cycle b) {
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+  }
+};
+
+/// Run all configurations for one (kind, W) point. All secret values are
+/// false at run time (the baseline skips every guarded workload, which is
+/// what makes the Fig. 10 slowdown ~ W+1).
+MicrobenchPoint measure_microbench(workloads::Kind kind, usize width,
+                                   const MicrobenchOptions& opt = {});
+
+struct DjpegPoint {
+  workloads::OutputFormat format{};
+  usize pixels = 0;
+  pipeline::PipelineStats baseline;
+  pipeline::PipelineStats sempe;
+
+  double overhead() const {
+    return baseline.cycles == 0
+               ? 0.0
+               : static_cast<double>(sempe.cycles) /
+                         static_cast<double>(baseline.cycles) -
+                     1.0;
+  }
+};
+
+/// Run the djpeg workload for one (format, size) cell of Figs. 8 and 9.
+DjpegPoint measure_djpeg(workloads::OutputFormat fmt, usize pixels,
+                         usize scale = 8, u64 image_seed = 1);
+
+/// Benchmark scaling knobs from the environment (so `make bench` stays
+/// fast by default but full-size runs are one env var away):
+///   SEMPE_BENCH_ITERS  — microbenchmark iterations (default 60)
+///   SEMPE_DJPEG_SCALE  — djpeg pixel divisor (default 8; 1 = paper size)
+usize env_usize(const char* name, usize fallback);
+
+}  // namespace sempe::sim

@@ -1,0 +1,42 @@
+#include "sim/machine_config.h"
+
+#include <sstream>
+
+namespace sempe::sim {
+
+pipeline::PipelineConfig table2_machine() { return pipeline::PipelineConfig{}; }
+
+std::string describe(const pipeline::PipelineConfig& c) {
+  std::ostringstream os;
+  os << "Baseline microarchitecture model (Table II)\n"
+     << "  clock frequency        2.0 GHz (all latencies in core cycles)\n"
+     << "  branch predictor       TAGE (" << c.tage.history_lengths.size()
+     << " tagged tables, " << c.tage.tagged_entries
+     << " entries each), ITTAGE (" << c.ittage.history_lengths.size()
+     << " tables)\n"
+     << "  fetch                  " << c.fetch_width << " instructions / cycle\n"
+     << "  decode                 " << c.decode_width << " uops / cycle\n"
+     << "  rename                 " << c.rename_width << " uops / cycle\n"
+     << "  issue (micro-ops)      " << c.issue_width << " uops\n"
+     << "  load issue             " << c.load_issue_width << " loads / cycle\n"
+     << "  retire                 " << c.retire_width << " uops / cycle\n"
+     << "  reorder buffer (ROB)   " << c.rob_entries << " uops\n"
+     << "  physical registers     " << c.phys_int_regs << " INT, "
+     << c.phys_fp_regs << " FP\n"
+     << "  issue buffers          " << c.iq_int_entries << " INT / "
+     << c.iq_fp_entries << " FP uops\n"
+     << "  load/store queue       " << c.load_queue << "+" << c.store_queue
+     << " entries\n"
+     << "  DL1 cache              " << c.memory.dl1.size_bytes / 1024
+     << "KB, " << c.memory.dl1.assoc << "-way assoc.\n"
+     << "  IL1 cache              " << c.memory.il1.size_bytes / 1024
+     << "KB, " << c.memory.il1.assoc << "-way assoc.\n"
+     << "  L2 cache               " << c.memory.l2.size_bytes / 1024
+     << "KB, " << c.memory.l2.assoc << "-way assoc.\n"
+     << "  prefetcher             stride pref. (L1), stream pref. (L2)\n"
+     << "  SPM throughput         " << c.spm_bytes_per_cycle
+     << " Bytes/cycle R/W\n";
+  return os.str();
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+namespace sempe::sim {
+
+RunResult run(const isa::Program& program, const RunConfig& cfg) {
+  mem::MainMemory memory;
+  cpu::CoreConfig core_cfg = cfg.core;
+  core_cfg.mode = cfg.mode;
+  cpu::FunctionalCore core(&program, &memory, core_cfg);
+
+  security::ObservationRecorder recorder(cfg.pipe.memory.dl1.line_bytes);
+  if (cfg.record_observations) recorder.attach(core);
+
+  pipeline::Pipeline pipe(&core, cfg.pipe);
+  RunResult r;
+  r.stats = pipe.run();
+  r.instructions = core.instructions_executed();
+  r.final_state = core.state();
+  r.jb_high_water = core.jb_table().high_water();
+
+  if (cfg.record_observations) {
+    recorder.set_timing(r.stats.cycles);
+    recorder.set_predictor_digest(pipe.predictor_digest());
+    recorder.set_cache_digest(pipe.memory().state_digest());
+    r.trace = recorder.trace();
+  }
+  for (usize i = 0; i < cfg.probe_words; ++i)
+    r.probed.push_back(memory.read_u64(cfg.probe_addr + i * 8));
+  return r;
+}
+
+FunctionalResult run_functional(const isa::Program& program,
+                                cpu::ExecMode mode,
+                                const cpu::CoreConfig& core_cfg,
+                                Addr probe_addr, usize probe_words) {
+  mem::MainMemory memory;
+  cpu::CoreConfig cc = core_cfg;
+  cc.mode = mode;
+  cpu::FunctionalCore core(&program, &memory, cc);
+  security::ObservationRecorder recorder;
+  recorder.attach(core);
+  FunctionalResult r;
+  r.instructions = core.run_to_halt();
+  r.final_state = core.state();
+  r.jb_high_water = core.jb_table().high_water();
+  r.trace = recorder.trace();
+  for (usize i = 0; i < probe_words; ++i)
+    r.probed.push_back(memory.read_u64(probe_addr + i * 8));
+  return r;
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,57 @@
+// Simulator facade: one-call execution of a Program on a configured
+// machine, in legacy (baseline) or SeMPE mode, with observation recording.
+#pragma once
+
+#include <string>
+
+#include "cpu/functional_core.h"
+#include "isa/program.h"
+#include "pipeline/pipeline.h"
+#include "security/observation.h"
+
+namespace sempe::sim {
+
+struct RunConfig {
+  cpu::ExecMode mode = cpu::ExecMode::kLegacy;
+  cpu::CoreConfig core{};          // core.mode is overwritten from `mode`
+  pipeline::PipelineConfig pipe{};
+  bool record_observations = true;
+  // Optionally copy simulated-memory words out after the run (for
+  // correctness checks against host-computed expectations).
+  Addr probe_addr = 0;
+  usize probe_words = 0;
+};
+
+struct RunResult {
+  pipeline::PipelineStats stats;
+  security::ObservationTrace trace;
+  u64 instructions = 0;
+  cpu::ArchState final_state;
+  usize jb_high_water = 0;
+  std::vector<u64> probed;  // memory words copied out per RunConfig::probe_*
+
+  Cycle cycles() const { return stats.cycles; }
+};
+
+/// Run `program` to HALT on the full timing model.
+RunResult run(const isa::Program& program, const RunConfig& cfg = {});
+
+/// Functional-only run (no timing); much faster, used by correctness tests.
+struct FunctionalResult {
+  u64 instructions = 0;
+  cpu::ArchState final_state;
+  security::ObservationTrace trace;
+  usize jb_high_water = 0;
+  std::vector<u64> probed;
+};
+FunctionalResult run_functional(const isa::Program& program,
+                                cpu::ExecMode mode,
+                                const cpu::CoreConfig& core_cfg = {},
+                                Addr probe_addr = 0, usize probe_words = 0);
+
+/// Convenience: read a 64-bit word of simulated memory after a run is not
+/// possible (memory is torn down); instead workloads write results to
+/// registers or tests re-run with a probe. For register result conventions
+/// see workloads/microbench.h.
+
+}  // namespace sempe::sim

@@ -1,0 +1,55 @@
+#include "sim/timeline.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "mem/main_memory.h"
+
+namespace sempe::sim {
+
+void TimelineRecorder::attach(pipeline::Pipeline& pipe) {
+  pipe.on_retire = [this](const cpu::DynOp& op,
+                          const pipeline::OpTimestamps& ts) {
+    if (entries_.size() < capacity_) entries_.push_back({op, ts});
+  };
+}
+
+std::string TimelineRecorder::render() const {
+  std::ostringstream os;
+  os << std::left << std::setw(6) << "seq" << std::setw(10) << "pc"
+     << std::setw(28) << "instruction" << std::right << std::setw(7) << "F"
+     << std::setw(7) << "R" << std::setw(7) << "I" << std::setw(7) << "C"
+     << std::setw(7) << "X" << '\n';
+  for (const TimelineEntry& e : entries_) {
+    std::ostringstream pc;
+    pc << "0x" << std::hex << e.op.pc;
+    os << std::left << std::setw(6) << e.op.seq << std::setw(10) << pc.str()
+       << std::setw(28) << e.op.ins.to_string() << std::right << std::setw(7)
+       << e.ts.fetch << std::setw(7) << e.ts.rename << std::setw(7)
+       << e.ts.issue << std::setw(7) << e.ts.complete << std::setw(7)
+       << e.ts.commit;
+    if (e.op.event != cpu::SempeEvent::kNone) {
+      os << "   <- "
+         << (e.op.event == cpu::SempeEvent::kSjmpEnter ? "sJMP enter"
+             : e.op.event == cpu::SempeEvent::kEosFirst ? "eosJMP jump-back"
+                                                        : "eosJMP retire");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string capture_timeline(const isa::Program& program, cpu::ExecMode mode,
+                             usize capacity) {
+  mem::MainMemory memory;
+  cpu::CoreConfig cc;
+  cc.mode = mode;
+  cpu::FunctionalCore core(&program, &memory, cc);
+  pipeline::Pipeline pipe(&core, {});
+  TimelineRecorder rec(capacity);
+  rec.attach(pipe);
+  pipe.run();
+  return rec.render();
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,44 @@
+// Pipeline timeline capture — debugging/teaching tooling built on the
+// Pipeline retire hook. Records per-instruction stage timestamps and
+// renders a text timeline (one row per instruction, columns F/R/I/C/X).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/dyn_op.h"
+#include "isa/program.h"
+#include "pipeline/pipeline.h"
+
+namespace sempe::sim {
+
+struct TimelineEntry {
+  cpu::DynOp op;
+  pipeline::OpTimestamps ts;
+};
+
+class TimelineRecorder {
+ public:
+  /// Record at most `capacity` retired instructions (the earliest ones).
+  explicit TimelineRecorder(usize capacity = 256) : capacity_(capacity) {}
+
+  /// Install on a pipeline (replaces any previous retire hook).
+  void attach(pipeline::Pipeline& pipe);
+
+  const std::vector<TimelineEntry>& entries() const { return entries_; }
+
+  /// Multi-line rendering:
+  ///   seq  pc        disasm                    F      R      I      C      X
+  std::string render() const;
+
+ private:
+  usize capacity_;
+  std::vector<TimelineEntry> entries_;
+};
+
+/// Convenience: run `program` in `mode` and return the first `capacity`
+/// rows of its pipeline timeline.
+std::string capture_timeline(const isa::Program& program, cpu::ExecMode mode,
+                             usize capacity = 64);
+
+}  // namespace sempe::sim

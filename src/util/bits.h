@@ -1,0 +1,50 @@
+// Bit-manipulation helpers shared by the ISA encoder and the predictors.
+#pragma once
+
+#include <bit>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe {
+
+/// True if x is a power of two (and nonzero).
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); x must be nonzero.
+constexpr u32 log2_floor(u64 x) {
+  return 63u - static_cast<u32>(std::countl_zero(x));
+}
+
+/// Mask with the low n bits set (n <= 64).
+constexpr u64 low_mask(u32 n) { return n >= 64 ? ~0ull : ((1ull << n) - 1); }
+
+/// Extract bits [lo, lo+len) of x.
+constexpr u64 bits_of(u64 x, u32 lo, u32 len) {
+  return (x >> lo) & low_mask(len);
+}
+
+/// Insert the low len bits of v into bits [lo, lo+len) of x.
+constexpr u64 bits_set(u64 x, u32 lo, u32 len, u64 v) {
+  const u64 m = low_mask(len) << lo;
+  return (x & ~m) | ((v << lo) & m);
+}
+
+/// Sign-extend the low n bits of x to a full i64.
+constexpr i64 sign_extend(u64 x, u32 n) {
+  const u64 m = 1ull << (n - 1);
+  const u64 v = x & low_mask(n);
+  return static_cast<i64>((v ^ m) - m);
+}
+
+/// Fold (xor-reduce) x down to n bits. Used for predictor index hashing.
+constexpr u64 fold_bits(u64 x, u32 n) {
+  u64 r = 0;
+  while (x != 0) {
+    r ^= x & low_mask(n);
+    x >>= n;
+  }
+  return r;
+}
+
+}  // namespace sempe

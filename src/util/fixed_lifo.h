@@ -1,0 +1,65 @@
+// A bounded LIFO with explicit overflow behavior.
+//
+// The SeMPE jbTable is specified as a hardware Last-In-First-Out structure
+// with a fixed number of entries (one per supported nesting level). This
+// container mirrors that: pushing beyond capacity is an error the caller
+// must handle (the architecture raises a nesting-overflow exception).
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe {
+
+template <typename T>
+class FixedLifo {
+ public:
+  explicit FixedLifo(usize capacity) : capacity_(capacity) {
+    SEMPE_CHECK(capacity > 0);
+    items_.reserve(capacity);
+  }
+
+  usize capacity() const { return capacity_; }
+  usize size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() == capacity_; }
+
+  /// Push; returns false (and does nothing) on overflow.
+  bool push(T v) {
+    if (full()) return false;
+    items_.push_back(std::move(v));
+    return true;
+  }
+
+  T& top() {
+    SEMPE_CHECK_MSG(!empty(), "top() on empty LIFO");
+    return items_.back();
+  }
+  const T& top() const {
+    SEMPE_CHECK_MSG(!empty(), "top() on empty LIFO");
+    return items_.back();
+  }
+
+  T pop() {
+    SEMPE_CHECK_MSG(!empty(), "pop() on empty LIFO");
+    T v = std::move(items_.back());
+    items_.pop_back();
+    return v;
+  }
+
+  void clear() { items_.clear(); }
+
+  /// Indexed from the bottom (0 = oldest). Used by tests and debug dumps.
+  const T& at(usize i) const {
+    SEMPE_CHECK(i < items_.size());
+    return items_[i];
+  }
+
+ private:
+  usize capacity_;
+  std::vector<T> items_;
+};
+
+}  // namespace sempe

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for workload construction.
+//
+// The simulator must be fully reproducible: the same seed always yields the
+// same program, data image and therefore the same cycle counts. xorshift*
+// is small, fast, and good enough for workload data.
+#pragma once
+
+#include "util/types.h"
+
+namespace sempe {
+
+/// xorshift64* generator. Never yields 0 from next_u64() state transitions.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  u64 next_u64() {
+    u64 x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  i64 next_in(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace sempe

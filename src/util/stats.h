@@ -1,0 +1,56 @@
+// A small named-counter registry for simulation statistics.
+//
+// Components register counters by name; the simulator facade dumps them and
+// benchmarks read them to compute derived metrics (miss rates, CPI, ...).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace sempe {
+
+class StatSet {
+ public:
+  /// Increment (creating at zero if absent).
+  void add(const std::string& name, u64 delta = 1) { counters_[name] += delta; }
+
+  /// Overwrite a value (for gauges such as final occupancies).
+  void set(const std::string& name, u64 value) { counters_[name] = value; }
+
+  /// Read a counter; absent counters read as zero.
+  u64 get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  bool has(const std::string& name) const { return counters_.count(name) > 0; }
+
+  /// Ratio helper: numerator/denominator, 0 if the denominator is zero.
+  double ratio(const std::string& num, const std::string& den) const {
+    const u64 d = get(den);
+    return d == 0 ? 0.0 : static_cast<double>(get(num)) / static_cast<double>(d);
+  }
+
+  void clear() { counters_.clear(); }
+
+  /// Merge other into this (summing counters). Used to aggregate per-run
+  /// statistics across experiment sweeps.
+  void merge(const StatSet& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  const std::map<std::string, u64>& counters() const { return counters_; }
+
+  void dump(std::ostream& os, const std::string& prefix = "") const {
+    for (const auto& [k, v] : counters_) os << prefix << k << " = " << v << '\n';
+  }
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+}  // namespace sempe

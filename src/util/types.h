@@ -1,0 +1,25 @@
+// Basic integer aliases used throughout the SeMPE simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sempe {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Byte address in the simulated machine's physical address space.
+using Addr = u64;
+
+/// Simulation time in core clock cycles.
+using Cycle = u64;
+
+}  // namespace sempe

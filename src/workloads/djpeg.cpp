@@ -1,0 +1,372 @@
+#include "workloads/djpeg.h"
+
+#include <vector>
+
+#include "isa/program_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sempe::workloads {
+
+using isa::ProgramBuilder;
+using isa::Reg;
+using isa::Secure;
+using Label = ProgramBuilder::Label;
+
+namespace {
+
+constexpr usize kBlockCoefs = 64;
+constexpr usize kBlockPixels = 32;  // 2:1 subsampled output per block
+constexpr i64 kEnergyThreshold = 60;  // ~median of the 8-sample energy
+constexpr usize kDecodeRounds = 4;
+
+// Per-block format housekeeping trip counts (header/palette/row work that
+// does not depend on the secret): PPM streams raw samples, GIF maintains a
+// palette, BMP does row padding/reordering. These set the secure-region
+// share of the total instruction count — the Fig. 8 knob.
+usize housekeeping_trips(OutputFormat f) {
+  switch (f) {
+    case OutputFormat::kPpm: return 60;
+    case OutputFormat::kGif: return 500;
+    case OutputFormat::kBmp: return 1400;
+  }
+  return 0;
+}
+
+// Host mirrors of the two decode transforms (one round each); the emitted
+// assembly computes exactly these, kDecodeRounds times.
+u64 heavy_round(u64 v) {
+  u64 r = v * 13;
+  r += v << 3;
+  r ^= r >> 5;
+  r *= 7;
+  r += 12345;
+  r ^= r << 7;
+  r += r >> 9;
+  return r;
+}
+
+u64 light_round(u64 v) {
+  u64 r = v << 2;
+  r += 7;
+  r ^= r >> 3;
+  r *= 3;
+  r += r << 5;
+  r ^= r >> 11;
+  r += 99;
+  return r;
+}
+
+u64 idct_pixel(u64 a, u64 b) { return ((a * 3 + b * 5) >> 2) & 255; }
+
+}  // namespace
+
+const char* format_name(OutputFormat f) {
+  switch (f) {
+    case OutputFormat::kPpm: return "PPM";
+    case OutputFormat::kGif: return "GIF";
+    case OutputFormat::kBmp: return "BMP";
+  }
+  return "?";
+}
+
+BuiltDjpeg build_djpeg(const DjpegConfig& cfg) {
+  SEMPE_CHECK(cfg.scale > 0);
+  const usize px = std::max<usize>(cfg.pixels / cfg.scale, kBlockCoefs);
+  const usize blocks = px / kBlockCoefs;
+  SEMPE_CHECK(blocks > 0);
+
+  ProgramBuilder pb;
+
+  // --- Image data (the secret) -----------------------------------------------
+  std::vector<i64> coefs(blocks * kBlockCoefs);
+  Rng rng(cfg.image_seed);
+  for (auto& c : coefs) c = static_cast<i64>(rng.next_below(16));
+  const Addr coefs_addr = pb.alloc_words(coefs);
+
+  // Interleaved shadow decode buffers: dqA[i] at dq + 16i (heavy path),
+  // dqB[i] at dq + 16i + 8 (light path). Both paths touch the same cache
+  // lines, so the line-granular address trace is path-independent.
+  const Addr dq_addr = pb.alloc(kBlockCoefs * 16, 64);
+  const Addr pix_addr = pb.alloc(kBlockPixels * 8, 64);
+  const usize out_words_per_px = cfg.format == OutputFormat::kBmp ? 2 : 1;
+  const Addr out_addr =
+      pb.alloc(blocks * kBlockPixels * 8 * out_words_per_px, 64);
+  const Addr ck_addr = pb.alloc(8, 8);
+
+  // --- Registers ---------------------------------------------------------------
+  const Reg b = 3, coefp = 4, outp = 5, cond = 6, thr = 7, nblk = 8, acc = 9;
+  const Reg sum = 10, p0 = 11, cnt = 12, c0 = 13, v0 = 14, v1 = 15, v2 = 16,
+            fwd = 17, bwd = 18, t0 = 19, pixp = 20, selA = 21;
+
+  pb.li(coefp, static_cast<i64>(coefs_addr));
+  pb.li(outp, static_cast<i64>(out_addr));
+  pb.li(thr, kEnergyThreshold);
+  pb.li(nblk, static_cast<i64>(blocks));
+  pb.li(b, 0);
+  pb.li(acc, 0);
+
+  // One decode-transform round on register v1 (in place), using v2 as
+  // scratch. Must mirror heavy_round()/light_round() exactly.
+  auto emit_heavy_round = [&] {
+    pb.li(v2, 13);
+    pb.mul(v0, v1, v2);   // v0 = v*13
+    pb.slli(v2, v1, 3);
+    pb.add(v0, v0, v2);   // += v<<3
+    pb.srli(v2, v0, 5);
+    pb.xor_(v0, v0, v2);
+    pb.li(v2, 7);
+    pb.mul(v0, v0, v2);
+    pb.addi(v0, v0, 12345);
+    pb.slli(v2, v0, 7);
+    pb.xor_(v0, v0, v2);
+    pb.srli(v2, v0, 9);
+    pb.add(v1, v0, v2);
+  };
+  auto emit_light_round = [&] {
+    pb.slli(v0, v1, 2);
+    pb.addi(v0, v0, 7);
+    pb.srli(v2, v0, 3);
+    pb.xor_(v0, v0, v2);
+    pb.li(v2, 3);
+    pb.mul(v0, v0, v2);
+    pb.slli(v2, v0, 5);
+    pb.add(v0, v0, v2);
+    pb.srli(v2, v0, 11);
+    pb.xor_(v0, v0, v2);
+    pb.addi(v1, v0, 99);
+  };
+
+  const Label blockloop = pb.new_label();
+  pb.bind(blockloop);
+
+  // Energy estimate over 8 sampled coefficients (stride 8).
+  pb.mov(p0, coefp);
+  pb.li(sum, 0);
+  pb.li(cnt, 8);
+  {
+    const Label eloop = pb.new_label();
+    pb.bind(eloop);
+    pb.ld(c0, p0, 0);
+    pb.add(sum, sum, c0);
+    pb.addi(p0, p0, 64);
+    pb.addi(cnt, cnt, -1);
+    pb.bne(cnt, isa::kRegZero, eloop);
+  }
+  pb.slt(cond, thr, sum);  // 1 = dense block -> heavy decode path
+
+  // The secret-dependent conditional of the decode step (the SDBCB).
+  const Label heavy = pb.new_label();
+  const Label join = pb.new_label();
+  pb.bne(cond, isa::kRegZero, heavy, Secure::kYes);  // sJMP
+
+  // NT path: run-length (light) decode into dqB.
+  pb.li(p0, static_cast<i64>(dq_addr + 8));
+  pb.mov(cnt, coefp);
+  pb.li(c0, kBlockCoefs);
+  {
+    const Label lloop = pb.new_label();
+    pb.bind(lloop);
+    pb.ld(v1, cnt, 0);
+    for (usize r = 0; r < kDecodeRounds; ++r) emit_light_round();
+    pb.st(v1, p0, 0);
+    pb.addi(p0, p0, 16);
+    pb.addi(cnt, cnt, 8);
+    pb.addi(c0, c0, -1);
+    pb.bne(c0, isa::kRegZero, lloop);
+  }
+  pb.jmp(join);
+
+  // T path: dense (heavy) decode into dqA.
+  pb.bind(heavy);
+  pb.li(p0, static_cast<i64>(dq_addr));
+  pb.mov(cnt, coefp);
+  pb.li(c0, kBlockCoefs);
+  {
+    const Label hloop = pb.new_label();
+    pb.bind(hloop);
+    pb.ld(v1, cnt, 0);
+    for (usize r = 0; r < kDecodeRounds; ++r) emit_heavy_round();
+    pb.st(v1, p0, 0);
+    pb.addi(p0, p0, 16);
+    pb.addi(cnt, cnt, 8);
+    pb.addi(c0, c0, -1);
+    pb.bne(c0, isa::kRegZero, hloop);
+  }
+
+  pb.bind(join);
+  pb.eosjmp();
+
+  // Select the live shadow buffer (single CMOV on the interleave offset).
+  pb.li(selA, static_cast<i64>(dq_addr));
+  pb.li(fwd, static_cast<i64>(dq_addr + 8));
+  pb.cmov(fwd, cond, selA);  // fwd = cond ? dqA : dqB
+
+  // IDCT-like transform with 2:1 subsampling:
+  // pix[j] = ((dq[2j]*3 + dq[2j+1]*5) >> 2) & 255, j = 0..31.
+  pb.addi(bwd, fwd, 16);
+  pb.li(pixp, static_cast<i64>(pix_addr));
+  pb.li(cnt, kBlockPixels);
+  {
+    const Label iloop = pb.new_label();
+    pb.bind(iloop);
+    pb.ld(v0, fwd, 0);
+    pb.ld(v1, bwd, 0);
+    pb.li(t0, 3);
+    pb.mul(v0, v0, t0);
+    pb.li(t0, 5);
+    pb.mul(v1, v1, t0);
+    pb.add(v0, v0, v1);
+    pb.srli(v0, v0, 2);
+    pb.andi(v0, v0, 255);
+    pb.st(v0, pixp, 0);
+    pb.addi(fwd, fwd, 32);
+    pb.addi(bwd, bwd, 32);
+    pb.addi(pixp, pixp, 8);
+    pb.addi(cnt, cnt, -1);
+    pb.bne(cnt, isa::kRegZero, iloop);
+  }
+
+  // Per-pixel output epilogue (non-secret; shape differs per format).
+  pb.li(pixp, static_cast<i64>(pix_addr));
+  pb.li(cnt, kBlockPixels);
+  {
+    const Label oloop = pb.new_label();
+    pb.bind(oloop);
+    pb.ld(v0, pixp, 0);
+    switch (cfg.format) {
+      case OutputFormat::kPpm:
+        pb.li(t0, 299);
+        pb.mul(v1, v0, t0);
+        pb.addi(v1, v1, 16);
+        pb.st(v1, outp, 0);
+        pb.xor_(acc, acc, v1);
+        pb.addi(outp, outp, 8);
+        break;
+      case OutputFormat::kGif:
+        pb.li(t0, 7);
+        pb.mul(v1, v0, t0);
+        pb.srli(v2, v0, 3);
+        pb.add(v1, v1, v2);
+        pb.andi(v1, v1, 63);
+        pb.li(t0, 9);
+        pb.mul(v1, v1, t0);
+        pb.addi(v1, v1, 4);
+        pb.slli(v2, v1, 2);
+        pb.xor_(v1, v1, v2);
+        pb.st(v1, outp, 0);
+        pb.xor_(acc, acc, v1);
+        pb.addi(outp, outp, 8);
+        break;
+      case OutputFormat::kBmp: {
+        pb.li(t0, 114);
+        pb.mul(v1, v0, t0);  // blue
+        pb.li(t0, 587);
+        pb.mul(v2, v0, t0);  // green
+        pb.li(t0, 299);
+        pb.mul(t0, v0, t0);  // red (reuse t0)
+        pb.slli(sum, v2, 1);
+        pb.add(v1, v1, sum);
+        pb.xor_(v1, v1, t0);
+        pb.srli(sum, v1, 4);
+        pb.add(v1, v1, sum);
+        pb.andi(sum, v1, 3);  // row padding
+        pb.add(v1, v1, sum);
+        pb.st(v1, outp, 0);
+        pb.st(v2, outp, 8);
+        pb.xor_(acc, acc, v1);
+        pb.xor_(acc, acc, v2);
+        pb.addi(outp, outp, 16);
+        break;
+      }
+    }
+    pb.addi(pixp, pixp, 8);
+    pb.addi(cnt, cnt, -1);
+    pb.bne(cnt, isa::kRegZero, oloop);
+  }
+
+  // Per-block format housekeeping (palette upkeep / row padding / headers)
+  // — secret-independent, fixed trip count per format.
+  {
+    const usize trips = housekeeping_trips(cfg.format);
+    pb.li(cnt, static_cast<i64>(trips));
+    pb.li(v0, 0x5a5a);
+    const Label hk = pb.new_label();
+    pb.bind(hk);
+    pb.slli(v1, v0, 1);
+    pb.xor_(v0, v0, v1);
+    pb.andi(v0, v0, 0xffff);
+    pb.addi(cnt, cnt, -1);
+    pb.bne(cnt, isa::kRegZero, hk);
+    pb.xor_(acc, acc, v0);
+  }
+
+  pb.addi(coefp, coefp, kBlockCoefs * 8);
+  pb.addi(b, b, 1);
+  pb.blt(b, nblk, blockloop);
+
+  pb.li(p0, static_cast<i64>(ck_addr));
+  pb.st(acc, p0, 0);
+  pb.halt();
+
+  // --- Host mirror --------------------------------------------------------------
+  // Housekeeping register value after `trips` iterations (block-invariant).
+  u64 hk_final = 0x5a5a;
+  for (usize t = 0; t < housekeeping_trips(cfg.format); ++t) {
+    hk_final = (hk_final ^ (hk_final << 1)) & 0xffff;
+  }
+
+  u64 host_acc = 0;
+  for (usize blk = 0; blk < blocks; ++blk) {
+    const i64* bc = &coefs[blk * kBlockCoefs];
+    i64 energy = 0;
+    for (usize s = 0; s < 8; ++s) energy += bc[s * 8];
+    const bool dense = energy > kEnergyThreshold;
+    u64 dq[kBlockCoefs];
+    for (usize j = 0; j < kBlockCoefs; ++j) {
+      u64 v = static_cast<u64>(bc[j]);
+      for (usize r = 0; r < kDecodeRounds; ++r)
+        v = dense ? heavy_round(v) : light_round(v);
+      dq[j] = v;
+    }
+    u64 pix[kBlockPixels];
+    for (usize j = 0; j < kBlockPixels; ++j)
+      pix[j] = idct_pixel(dq[2 * j], dq[2 * j + 1]);
+    for (usize j = 0; j < kBlockPixels; ++j) {
+      const u64 p = pix[j];
+      switch (cfg.format) {
+        case OutputFormat::kPpm:
+          host_acc ^= p * 299 + 16;
+          break;
+        case OutputFormat::kGif: {
+          u64 v = (p * 7 + (p >> 3)) & 63;
+          v = v * 9 + 4;
+          v ^= v << 2;
+          host_acc ^= v;
+          break;
+        }
+        case OutputFormat::kBmp: {
+          const u64 blu = p * 114, grn = p * 587, red = p * 299;
+          u64 v = blu + (grn << 1);
+          v ^= red;
+          v += v >> 4;
+          v += v & 3;
+          host_acc ^= v;
+          host_acc ^= grn;
+          break;
+        }
+      }
+    }
+    host_acc ^= hk_final;
+  }
+
+  BuiltDjpeg out;
+  out.blocks = blocks;
+  out.output_addr = out_addr;
+  out.checksum_addr = ck_addr;
+  out.expected_checksum = host_acc;
+  out.program = pb.build();
+  return out;
+}
+
+}  // namespace sempe::workloads

@@ -1,0 +1,61 @@
+// The four microbenchmark workload kernels of Section V (Fibonacci, Ones,
+// Quicksort, Eight/N-Queens), each in two forms:
+//
+//   emit_kernel      — the natural, branching implementation (used inside
+//                      SeMPE secure regions and as the baseline).
+//   emit_kernel_cte  — a Constant-Time-Expression (FaCT-style) version: no
+//                      data/condition-dependent control flow; every guarded
+//                      assignment becomes a masked select; data-dependent
+//                      algorithms are flattened to their oblivious
+//                      worst-case shape (quicksort -> odd-even transposition
+//                      sort, pruned queens backtracking -> full-odometer
+//                      enumeration).
+//
+// Each kernel reads a shared input array, works in private (shadow)
+// buffers, and finally writes a checksum to `out_slot`. The CTE variants
+// additionally guard that final write with the effective condition mask,
+// exactly as Figure 2b guards its assignments.
+#pragma once
+
+#include "isa/program_builder.h"
+#include "util/types.h"
+
+namespace sempe::workloads {
+
+enum class Kind : u8 { kFibonacci, kOnes, kQuicksort, kQueens };
+
+const char* kind_name(Kind k);
+
+/// Per-instantiation memory layout for one kernel at one nesting level.
+struct KernelParams {
+  usize size = 0;     // n (loop count / elements / board size)
+  Addr input = 0;     // shared read-only input words
+  Addr buf = 0;       // private working buffer
+  Addr aux = 0;       // private auxiliary buffer (quicksort stack)
+  Addr out_slot = 0;  // 8-byte private result slot
+};
+
+/// Buffer sizing so the caller can allocate.
+usize kernel_input_words(Kind k, usize size);
+usize kernel_buf_words(Kind k, usize size);
+usize kernel_aux_words(Kind k, usize size);
+
+/// Default problem size per kind (Section V sizes, scaled for simulation).
+usize kernel_default_size(Kind k);
+
+/// Emit the natural kernel. Clobbers x10..x27.
+void emit_kernel(isa::ProgramBuilder& pb, Kind k, const KernelParams& p);
+
+/// Emit the CTE kernel. Requires rGuardBool/rGuardMask/rGuardNot to hold
+/// the effective condition for this nesting level. Clobbers x10..x27.
+void emit_kernel_cte(isa::ProgramBuilder& pb, Kind k, const KernelParams& p);
+
+/// Host-side expected checksum for correctness tests: what the kernel's
+/// out_slot should contain after one execution (given the input words).
+u64 expected_checksum(Kind k, usize size, const std::vector<i64>& input);
+
+/// Deterministic input data for a kind/size (same generator the builders
+/// use).
+std::vector<i64> make_input(Kind k, usize size, u64 seed);
+
+}  // namespace sempe::workloads

@@ -1,0 +1,57 @@
+// The microbenchmark of Figure 7: I iterations of W nested secret-dependent
+// conditionals, each guarding one workload kernel, with workload W+1
+// executing unconditionally after the nest.
+//
+//   for (i = 0; i < I; i++) {
+//     if (s1) { workload1;
+//       if (s2) { workload2;
+//         ... if (sW) { workloadW } ... } }
+//     workload_{W+1};
+//   }
+//
+// Three build variants:
+//   kSecure — sJMP-annotated, shadow-memory privatized, CMOV merge phase.
+//             Run in legacy mode it is the unprotected baseline; run in
+//             SeMPE mode it is the protected configuration (same binary —
+//             the backward-compatibility property).
+//   kCte    — the FaCT-style constant-time version: no secret branches at
+//             all; every level always executes with a propagated guard
+//             mask; kernels are the oblivious/masked variants. Note this is
+//             an *optimistic* CTE transform (linear guard chain rather than
+//             the canonical expansion of Fig. 2b), so CTE costs measured
+//             here are a lower bound — comparisons favor CTE.
+//
+// width = 0 builds the degenerate loop with only workload W+1, used for
+// computing the ideal (sum-of-paths) reference.
+#pragma once
+
+#include <vector>
+
+#include "isa/program.h"
+#include "workloads/kernels.h"
+
+namespace sempe::workloads {
+
+enum class Variant : u8 { kSecure, kCte };
+
+struct MicrobenchConfig {
+  Kind kind = Kind::kFibonacci;
+  usize width = 1;          // W: number of secret branches per iteration
+  usize iterations = 100;   // I
+  usize size = 0;           // kernel problem size; 0 = kernel_default_size
+  Variant variant = Variant::kSecure;
+  std::vector<u8> secrets;  // s1..sW (0/1); missing entries default to 0
+  u64 input_seed = 42;
+};
+
+struct BuiltMicrobench {
+  isa::Program program;
+  Addr results_addr = 0;             // W+1 merged result words
+  usize num_results = 0;
+  std::vector<u64> expected_results; // host-computed, given the secrets
+  usize effective_size = 0;          // resolved kernel size
+};
+
+BuiltMicrobench build_microbench(const MicrobenchConfig& cfg);
+
+}  // namespace sempe::workloads

@@ -1,0 +1,32 @@
+// Register allocation convention shared by the workload generators.
+//
+// The harness (loop control, secret loading, CMOV merge phase) owns
+// x3..x9; kernel bodies may clobber x10..x31 freely. Inside SeMPE secure
+// regions that is safe by construction (ArchRS restores registers); in
+// legacy mode the harness never relies on kernel scratch across kernels.
+#pragma once
+
+#include "isa/reg.h"
+
+namespace sempe::workloads {
+
+using isa::Reg;
+
+// Harness registers.
+inline constexpr Reg rIter = 3;     // loop induction variable
+inline constexpr Reg rSecrets = 4;  // base of the secret array
+inline constexpr Reg rResults = 5;  // base of the results array
+inline constexpr Reg rCond = 6;     // current secret condition
+inline constexpr Reg rEff = 7;      // effective (ANDed) condition for merges
+inline constexpr Reg rT0 = 8;       // harness scratch
+inline constexpr Reg rT1 = 9;       // harness scratch
+
+// CTE guard registers (valid throughout a CTE workload invocation).
+inline constexpr Reg rGuardBool = 28;  // 0 or 1
+inline constexpr Reg rGuardMask = 29;  // 0 or ~0 (= -guard_bool)
+inline constexpr Reg rGuardNot = 30;   // ~mask
+
+// Kernel scratch pool: x10..x27 (18 registers).
+inline constexpr Reg k(int i) { return static_cast<Reg>(10 + i); }
+
+}  // namespace sempe::workloads

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/arch_snapshot.h"
+
+namespace sempe::core {
+namespace {
+
+RegBits make_regs(u64 base) {
+  RegBits r{};
+  for (usize i = 0; i < r.size(); ++i) r[i] = base + i;
+  return r;
+}
+
+struct Fixture : ::testing::Test {
+  mem::Scratchpad spm;
+  ArchSnapshotUnit unit{&spm};
+};
+
+TEST_F(Fixture, EnterSavesAllRegisters) {
+  const RegBits r0 = make_regs(100);
+  const SpmTraffic t = unit.enter(r0, true);
+  // 48 regs * 8B + two 8B bit-vectors.
+  EXPECT_EQ(t.bytes_written, 48u * 8 + 16);
+  EXPECT_EQ(unit.depth(), 1u);
+}
+
+TEST_F(Fixture, TakenOutcomeKeepsTPathValues) {
+  RegBits regs = make_regs(0);
+  unit.enter(regs, /*taken=*/true);
+  // NT path writes r5.
+  regs[5] = 111;
+  unit.note_write(5);
+  unit.jump_back(regs);
+  EXPECT_EQ(regs[5], 0u + 5);  // restored for the T path
+  // T path writes r5 and r6.
+  regs[5] = 222;
+  regs[6] = 333;
+  unit.note_write(5);
+  unit.note_write(6);
+  unit.finish(regs);
+  EXPECT_EQ(regs[5], 222u);  // taken outcome: T-path values stand
+  EXPECT_EQ(regs[6], 333u);
+}
+
+TEST_F(Fixture, NotTakenOutcomeRestoresNtValues) {
+  RegBits regs = make_regs(0);
+  unit.enter(regs, /*taken=*/false);
+  regs[5] = 111;  // NT path (the true path)
+  unit.note_write(5);
+  unit.jump_back(regs);
+  regs[5] = 222;  // T path (wrong path)
+  regs[6] = 333;  // wrong path clobbers r6 too
+  unit.note_write(5);
+  unit.note_write(6);
+  unit.finish(regs);
+  EXPECT_EQ(regs[5], 111u);    // NT value restored
+  EXPECT_EQ(regs[6], 0u + 6);  // modified only in T: reverts to initial
+}
+
+TEST_F(Fixture, UnmodifiedRegistersUntouched) {
+  RegBits regs = make_regs(50);
+  unit.enter(regs, false);
+  unit.jump_back(regs);
+  unit.finish(regs);
+  EXPECT_EQ(regs, make_regs(50));
+}
+
+TEST_F(Fixture, TrafficIsOutcomeIndependent) {
+  // Same modification pattern, different outcomes -> identical SPM traffic
+  // (the constant-time restore property).
+  SpmTraffic t_taken, t_nt;
+  for (bool outcome : {true, false}) {
+    ArchSnapshotUnit u(&spm);
+    RegBits regs = make_regs(0);
+    u.enter(regs, outcome);
+    regs[3] = 1;
+    u.note_write(3);
+    u.jump_back(regs);
+    regs[4] = 2;
+    u.note_write(4);
+    const SpmTraffic t = u.finish(regs);
+    (outcome ? t_taken : t_nt) = t;
+  }
+  EXPECT_EQ(t_taken.bytes_read, t_nt.bytes_read);
+  EXPECT_EQ(t_taken.bytes_written, t_nt.bytes_written);
+}
+
+TEST_F(Fixture, JumpBackTrafficScalesWithModifiedCount) {
+  ArchSnapshotUnit u1(&spm), u2(&spm);
+  RegBits r1 = make_regs(0), r2 = make_regs(0);
+  u1.enter(r1, false);
+  u2.enter(r2, false);
+  u1.note_write(1);
+  for (isa::Reg r = 1; r <= 10; ++r) u2.note_write(r);
+  const SpmTraffic t1 = u1.jump_back(r1);
+  const SpmTraffic t2 = u2.jump_back(r2);
+  EXPECT_LT(t1.total(), t2.total());
+}
+
+TEST_F(Fixture, NestedRegionsComposeAndPropagateMasks) {
+  RegBits regs = make_regs(0);
+  // Outer region, outcome NT (NT path is true).
+  unit.enter(regs, false);
+  regs[5] = 10;  // outer NT path
+  unit.note_write(5);
+
+  // Inner region fully inside the outer NT path; outcome taken.
+  unit.enter(regs, true);
+  regs[6] = 20;  // inner NT (wrong)
+  unit.note_write(6);
+  unit.jump_back(regs);
+  regs[6] = 30;  // inner T (true)
+  unit.note_write(6);
+  unit.finish(regs);
+  EXPECT_EQ(regs[6], 30u);
+  EXPECT_EQ(unit.depth(), 1u);
+
+  // Back in the outer NT path. Now jump to the outer T path.
+  unit.jump_back(regs);
+  EXPECT_EQ(regs[5], 0u + 5);  // outer initial restored
+  EXPECT_EQ(regs[6], 0u + 6);  // inner result undone for the T path
+  regs[7] = 40;
+  unit.note_write(7);
+  unit.finish(regs);
+  // Outer outcome NT: NT-path values restored, T-path writes undone.
+  EXPECT_EQ(regs[5], 10u);
+  EXPECT_EQ(regs[6], 30u);     // inner region's (true) result survives
+  EXPECT_EQ(regs[7], 0u + 7);  // outer-T-only write reverted
+}
+
+TEST_F(Fixture, DepthLimitedBySpmCapacity) {
+  RegBits regs = make_regs(0);
+  for (usize i = 0; i < spm.config().max_snapshots; ++i)
+    unit.enter(regs, false);
+  EXPECT_THROW(unit.enter(regs, false), SimError);
+}
+
+TEST_F(Fixture, ProtocolErrorsDetected) {
+  RegBits regs = make_regs(0);
+  EXPECT_THROW(unit.jump_back(regs), SimError);  // no region
+  unit.enter(regs, true);
+  unit.jump_back(regs);
+  EXPECT_THROW(unit.jump_back(regs), SimError);  // double jump-back
+}
+
+TEST_F(Fixture, SquashNewestDropsFrame) {
+  RegBits regs = make_regs(0);
+  unit.enter(regs, true);
+  unit.enter(regs, false);
+  unit.squash_newest();
+  EXPECT_EQ(unit.depth(), 1u);
+}
+
+TEST_F(Fixture, SpmByteAccountingAccumulates) {
+  RegBits regs = make_regs(0);
+  const u64 before = spm.total_bytes_moved();
+  unit.enter(regs, true);
+  unit.jump_back(regs);
+  unit.finish(regs);
+  EXPECT_GT(spm.total_bytes_moved(), before);
+}
+
+}  // namespace
+}  // namespace sempe::core

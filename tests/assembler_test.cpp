@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+namespace sempe {
+namespace {
+
+using isa::assemble;
+
+TEST(Assembler, BasicProgramRuns) {
+  const auto prog = assemble(R"(
+    # sum 1..5
+    li x1, 0
+    li x2, 5
+  loop:
+    add x1, x1, x2
+    addi x2, x2, -1
+    bne x2, x0, loop
+    halt
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(1), 15);
+}
+
+TEST(Assembler, DataAndLa) {
+  const auto prog = assemble(R"(
+    .data arr
+    .word 11 22 33
+    .text
+    la x1, arr
+    ld x2, x1, 16
+    halt
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(2), 33);
+}
+
+TEST(Assembler, ZeroDirective) {
+  const auto prog = assemble(R"(
+    .data buf
+    .zero 64
+    .text
+    la x1, buf
+    ld x2, x1, 32
+    halt
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(2), 0);
+}
+
+TEST(Assembler, SecureBranchPrefix) {
+  const auto prog = assemble(R"(
+    li x1, 1
+    sjmp.bne x1, x0, target
+    li x2, 200
+    jmp join
+  target:
+    li x2, 100
+  join:
+    eosjmp
+    halt
+  )");
+  // Legacy: only the taken path executes.
+  const auto legacy = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(legacy.final_state.get_int(2), 100);
+  // SeMPE: both paths execute, correct value restored.
+  const auto sempe = sim::run_functional(prog, cpu::ExecMode::kSempe);
+  EXPECT_EQ(sempe.final_state.get_int(2), 100);
+  EXPECT_GT(sempe.instructions, legacy.instructions);
+}
+
+TEST(Assembler, FpAndPseudoOps) {
+  const auto prog = assemble(R"(
+    li x1, 6
+    li x2, 7
+    mul x3, x1, x2
+    mov x4, x3
+    i2f f0, x4
+    fadd f1, f0, f0
+    f2i x5, f1
+    halt
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(5), 84);
+}
+
+TEST(Assembler, CallReturn) {
+  const auto prog = assemble(R"(
+    li x4, 5
+    jal ra, double
+    jal ra, double
+    halt
+  double:
+    add x4, x4, x4
+    ret
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(4), 20);
+}
+
+TEST(Assembler, HexAndNegativeImmediates) {
+  const auto prog = assemble(R"(
+    li x1, 0x10
+    li x2, -16
+    add x3, x1, x2
+    halt
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(3), 0);
+}
+
+TEST(Assembler, StoreOperandOrder) {
+  const auto prog = assemble(R"(
+    .data slot
+    .word 0
+    .text
+    la x1, slot
+    li x2, 77
+    st x2, x1, 0
+    ld x3, x1, 0
+    halt
+  )");
+  const auto r = sim::run_functional(prog, cpu::ExecMode::kLegacy);
+  EXPECT_EQ(r.final_state.get_int(3), 77);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble("bogus x1, x2\nhalt\n"), SimError);
+}
+
+TEST(AssemblerErrors, UnknownRegister) {
+  EXPECT_THROW(assemble("add x1, x2, x99\nhalt\n"), SimError);
+}
+
+TEST(AssemblerErrors, UnboundLabel) {
+  EXPECT_THROW(assemble("jmp nowhere\nhalt\n"), SimError);
+}
+
+TEST(AssemblerErrors, SecurePrefixOnNonBranch) {
+  EXPECT_THROW(assemble("sjmp.add x1, x2, x3\nhalt\n"), SimError);
+}
+
+TEST(AssemblerErrors, UndeclaredDataSymbol) {
+  EXPECT_THROW(assemble("la x1, missing\nhalt\n"), SimError);
+}
+
+TEST(AssemblerErrors, WordOutsideData) {
+  EXPECT_THROW(assemble(".word 5\nhalt\n"), SimError);
+}
+
+TEST(Assembler, DisassemblyRoundTripsForDataOps) {
+  // For every non-control opcode: disassemble -> reassemble -> identical
+  // instruction (control flow needs labels, so it is excluded).
+  using namespace isa;
+  for (usize o = 0; o < kNumOpcodes; ++o) {
+    const auto op = static_cast<Opcode>(o);
+    if (is_control(op) || op == Opcode::kHalt) continue;
+    Instruction ins;
+    ins.op = op;
+    const OpInfo& info = op_info(op);
+    const bool fp_rd = op == Opcode::kI2f || op == Opcode::kFmov ||
+                       op_info(op).op_class == OpClass::kFpAlu ||
+                       op_info(op).op_class == OpClass::kFpDiv;
+    const bool fp_rs = op == Opcode::kF2i || op == Opcode::kFmov ||
+                       ((op_info(op).op_class == OpClass::kFpAlu ||
+                         op_info(op).op_class == OpClass::kFpDiv) &&
+                        op != Opcode::kI2f);
+    if (info.uses_rd) ins.rd = (fp_rd && op != Opcode::kF2i) ? fp_reg(3) : 5;
+    if (info.uses_rs1) ins.rs1 = fp_rs ? fp_reg(1) : 6;
+    if (info.uses_rs2)
+      ins.rs2 = (op_info(op).op_class == OpClass::kFpAlu ||
+                 op_info(op).op_class == OpClass::kFpDiv)
+                    ? fp_reg(2)
+                    : 7;
+    if (info.has_imm) ins.imm = -12;
+    const std::string text = ins.to_string() + "\nhalt\n";
+    const Program p = assemble(text);
+    EXPECT_EQ(decode(p.code()[0]), ins) << op_name(op) << ": " << text;
+  }
+}
+
+TEST(AssemblerErrors, ReportsLineNumber) {
+  try {
+    assemble("nop\nnop\nbogus\n");
+    FAIL();
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sempe

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "isa/cfg.h"
+#include "isa/program_builder.h"
+
+namespace sempe::isa {
+namespace {
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.addi(1, 1, 1);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].num_instructions(), 3u);
+  EXPECT_TRUE(cfg.blocks()[0].ends_in_halt);
+  EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+}
+
+TEST(Cfg, DiamondShape) {
+  // if/else creates entry, then, else, join.
+  ProgramBuilder pb;
+  auto t = pb.new_label();
+  auto j = pb.new_label();
+  pb.li(1, 0);
+  pb.bne(1, kRegZero, t);
+  pb.li(2, 1);  // else
+  pb.jmp(j);
+  pb.bind(t);
+  pb.li(2, 2);  // then
+  pb.bind(j);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  const auto& entry = cfg.blocks()[0];
+  ASSERT_EQ(entry.succs.size(), 2u);
+  // Both successors eventually reach the halt block.
+  const auto reach = cfg.reachable();
+  for (bool r : reach) EXPECT_TRUE(r);
+}
+
+TEST(Cfg, LoopHasBackEdge) {
+  ProgramBuilder pb;
+  pb.li(1, 10);
+  auto top = pb.new_label();
+  pb.bind(top);
+  pb.addi(1, 1, -1);
+  pb.bne(1, kRegZero, top);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  // The loop block must have itself as a successor.
+  bool self_edge = false;
+  for (const auto& b : cfg.blocks()) {
+    for (usize s : b.succs)
+      if (s == b.id) self_edge = true;
+  }
+  EXPECT_TRUE(self_edge);
+}
+
+TEST(Cfg, BlockOfMapsInteriorPcs) {
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.li(2, 2);
+  auto l = pb.new_label();
+  pb.jmp(l);
+  pb.bind(l);
+  pb.halt();
+  const auto prog = pb.build();
+  const Cfg cfg = Cfg::build(prog);
+  EXPECT_EQ(cfg.block_id_of(prog.pc_of(0)), cfg.block_id_of(prog.pc_of(1)));
+  EXPECT_NE(cfg.block_id_of(prog.pc_of(0)), cfg.block_id_of(prog.pc_of(3)));
+}
+
+TEST(Cfg, IndirectJumpFlagged) {
+  ProgramBuilder pb;
+  pb.li(1, 0x10008);
+  pb.jalr(kRegZero, 1);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  EXPECT_TRUE(cfg.blocks()[0].ends_in_indirect);
+  // Conservative reachability marks everything.
+  for (bool r : cfg.reachable()) EXPECT_TRUE(r);
+}
+
+TEST(Cfg, UnreachableBlockDetected) {
+  ProgramBuilder pb;
+  auto end = pb.new_label();
+  pb.jmp(end);
+  pb.li(9, 9);  // dead code
+  pb.bind(end);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  const auto reach = cfg.reachable();
+  usize unreachable = 0;
+  for (bool r : reach)
+    if (!r) ++unreachable;
+  EXPECT_EQ(unreachable, 1u);
+}
+
+TEST(Cfg, PredecessorsSymmetricWithSuccessors) {
+  ProgramBuilder pb;
+  auto t = pb.new_label();
+  pb.li(1, 1);
+  pb.bne(1, kRegZero, t);
+  pb.li(2, 1);
+  pb.bind(t);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  for (const auto& b : cfg.blocks()) {
+    for (usize s : b.succs) {
+      const auto& preds = cfg.blocks()[s].preds;
+      EXPECT_NE(std::find(preds.begin(), preds.end(), b.id), preds.end());
+    }
+  }
+}
+
+TEST(Cfg, ToStringListsBlocks) {
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.halt();
+  const Cfg cfg = Cfg::build(pb.build());
+  EXPECT_NE(cfg.to_string().find("BB0"), std::string::npos);
+  EXPECT_NE(cfg.to_string().find("halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sempe::isa

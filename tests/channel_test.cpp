@@ -1,0 +1,112 @@
+// Leakage quantification across many secrets: the legacy core's channel
+// carries bits; SeMPE's carries zero.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/program_builder.h"
+#include "security/channel.h"
+#include "sim/simulator.h"
+#include "workloads/djpeg.h"
+
+namespace sempe::security {
+namespace {
+
+using isa::ProgramBuilder;
+using isa::Secure;
+
+/// Fixed 8-iteration loop; iteration i does extra work iff i < secret.
+/// The loop bound is public (fixed), the per-iteration branch is secret —
+/// exactly the SDBCB shape SeMPE closes completely.
+isa::Program value_leaker(i64 secret) {
+  ProgramBuilder pb;
+  pb.li(1, secret & 7);  // the secret threshold
+  pb.li(2, 0);           // accumulator
+  pb.li(5, 0);           // i
+  pb.li(7, 8);           // public bound
+  auto top = pb.new_label();
+  pb.bind(top);
+  auto skip = pb.new_label();
+  pb.slt(4, 5, 1);  // cond = i < secret
+  pb.beq(4, isa::kRegZero, skip, Secure::kYes);
+  for (int i = 0; i < 8; ++i) pb.addi(2, 2, 1);
+  pb.bind(skip);
+  pb.eosjmp();
+  pb.addi(5, 5, 1);
+  pb.blt(5, 7, top);  // non-secret loop branch
+  pb.halt();
+  return pb.build();
+}
+
+ObservationTrace observe(const isa::Program& p, cpu::ExecMode mode) {
+  sim::RunConfig rc;
+  rc.mode = mode;
+  return sim::run(p, rc).trace;
+}
+
+TEST(Channel, EmptySetIsClosed) {
+  const auto e = estimate_channel({});
+  EXPECT_EQ(e.num_classes, 0u);
+  EXPECT_TRUE(e.closed());
+  EXPECT_DOUBLE_EQ(e.leaked_bits(), 0.0);
+}
+
+TEST(Channel, SingleTraceIsClosed) {
+  const auto e = estimate_channel({ObservationTrace{}});
+  EXPECT_TRUE(e.closed());
+}
+
+TEST(Channel, DistinctTimingsSeparateClasses) {
+  ObservationTrace a, b, c;
+  b.total_cycles = 5;
+  c.total_cycles = 9;
+  const auto e = estimate_channel({a, b, c, a});
+  EXPECT_EQ(e.num_traces, 4u);
+  EXPECT_EQ(e.num_classes, 3u);
+  EXPECT_NEAR(e.leaked_bits(), std::log2(3.0), 1e-9);
+}
+
+TEST(Channel, LegacyLeaksBitsOfTheLoopCount) {
+  // 8 secrets -> on the unprotected core, timing separates many of them.
+  std::vector<ObservationTrace> traces;
+  for (i64 s = 0; s < 8; ++s)
+    traces.push_back(observe(value_leaker(s), cpu::ExecMode::kLegacy));
+  const auto e = estimate_channel(traces);
+  EXPECT_GT(e.num_classes, 4u);
+  EXPECT_GT(e.leaked_bits(), 2.0);
+}
+
+TEST(Channel, SempeClosesTheValueChannelCompletely) {
+  std::vector<ObservationTrace> legacy, sempe;
+  for (i64 s = 0; s < 8; ++s) {
+    legacy.push_back(observe(value_leaker(s), cpu::ExecMode::kLegacy));
+    sempe.push_back(observe(value_leaker(s), cpu::ExecMode::kSempe));
+  }
+  const auto el = estimate_channel(legacy);
+  const auto es = estimate_channel(sempe);
+  EXPECT_GT(el.num_classes, 4u);  // the unprotected core tells secrets apart
+  EXPECT_TRUE(es.closed());       // SeMPE: one class, zero bits
+  EXPECT_DOUBLE_EQ(es.leaked_bits(), 0.0);
+}
+
+TEST(Channel, SempeClosesTheDjpegImageChannel) {
+  std::vector<ObservationTrace> legacy, sempe;
+  for (u64 seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    workloads::DjpegConfig cfg;
+    cfg.pixels = 64 * 64;
+    cfg.scale = 16;
+    cfg.image_seed = seed;
+    const auto b = build_djpeg(cfg);
+    legacy.push_back(observe(b.program, cpu::ExecMode::kLegacy));
+    sempe.push_back(observe(b.program, cpu::ExecMode::kSempe));
+  }
+  const auto el = estimate_channel(legacy);
+  const auto es = estimate_channel(sempe);
+  EXPECT_EQ(el.num_classes, 5u);   // every image distinguishable
+  EXPECT_GT(el.leaked_bits(), 2.0);
+  EXPECT_TRUE(es.closed());        // zero bits under SeMPE
+  EXPECT_DOUBLE_EQ(es.leaked_bits(), 0.0);
+}
+
+}  // namespace
+}  // namespace sempe::security

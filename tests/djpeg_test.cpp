@@ -1,0 +1,144 @@
+// The djpeg-like workload: correctness against the host mirror, secrecy of
+// the image under SeMPE, and the structural properties behind Figs. 8-9.
+#include <gtest/gtest.h>
+
+#include "security/observation.h"
+#include "sim/simulator.h"
+#include "workloads/djpeg.h"
+
+namespace sempe::workloads {
+namespace {
+
+DjpegConfig small_cfg(OutputFormat f, u64 seed = 1) {
+  DjpegConfig cfg;
+  cfg.format = f;
+  cfg.pixels = 64 * 64;  // small for tests
+  cfg.scale = 4;
+  cfg.image_seed = seed;
+  return cfg;
+}
+
+class DjpegFormats : public ::testing::TestWithParam<OutputFormat> {};
+
+TEST_P(DjpegFormats, ChecksumMatchesHostMirrorLegacy) {
+  const BuiltDjpeg b = build_djpeg(small_cfg(GetParam()));
+  const auto r = sim::run_functional(b.program, cpu::ExecMode::kLegacy, {},
+                                     b.checksum_addr, 1);
+  EXPECT_EQ(r.probed.at(0), b.expected_checksum);
+}
+
+TEST_P(DjpegFormats, ChecksumMatchesHostMirrorSempe) {
+  const BuiltDjpeg b = build_djpeg(small_cfg(GetParam()));
+  const auto r = sim::run_functional(b.program, cpu::ExecMode::kSempe, {},
+                                     b.checksum_addr, 1);
+  EXPECT_EQ(r.probed.at(0), b.expected_checksum);
+}
+
+TEST_P(DjpegFormats, DifferentImagesDifferentOutputs) {
+  const BuiltDjpeg a = build_djpeg(small_cfg(GetParam(), 1));
+  const BuiltDjpeg b = build_djpeg(small_cfg(GetParam(), 2));
+  EXPECT_NE(a.expected_checksum, b.expected_checksum);
+}
+
+TEST_P(DjpegFormats, ImageContentIndistinguishableUnderSempe) {
+  // Two different secret images: every observable channel must match.
+  auto obs = [&](u64 seed) {
+    const BuiltDjpeg b = build_djpeg(small_cfg(GetParam(), seed));
+    sim::RunConfig rc;
+    rc.mode = cpu::ExecMode::kSempe;
+    return sim::run(b.program, rc).trace;
+  };
+  const auto t1 = obs(1);
+  const auto t2 = obs(0xdeadbeef);
+  const auto d = security::compare(t1, t2);
+  EXPECT_FALSE(d.distinguishable) << d.to_string();
+}
+
+TEST_P(DjpegFormats, ImageContentLeaksOnLegacyCore) {
+  auto obs = [&](u64 seed) {
+    const BuiltDjpeg b = build_djpeg(small_cfg(GetParam(), seed));
+    sim::RunConfig rc;
+    rc.mode = cpu::ExecMode::kLegacy;
+    return sim::run(b.program, rc).trace;
+  };
+  const auto d = security::compare(obs(1), obs(0xdeadbeef));
+  EXPECT_TRUE(d.distinguishable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, DjpegFormats,
+                         ::testing::Values(OutputFormat::kPpm,
+                                           OutputFormat::kGif,
+                                           OutputFormat::kBmp),
+                         [](const auto& info) {
+                           return std::string(format_name(info.param));
+                         });
+
+TEST(Djpeg, BlocksScaleWithPixels) {
+  DjpegConfig cfg = small_cfg(OutputFormat::kPpm);
+  cfg.pixels = 64 * 64;
+  const auto a = build_djpeg(cfg);
+  cfg.pixels = 128 * 64;
+  const auto b = build_djpeg(cfg);
+  EXPECT_EQ(b.blocks, 2 * a.blocks);
+}
+
+TEST(Djpeg, InstructionsPerBlockIndependentOfImageSize) {
+  // The paper's observation: image size changes the number of SecBlocks,
+  // not the work within one — so instructions scale ~linearly with blocks.
+  DjpegConfig cfg = small_cfg(OutputFormat::kGif);
+  cfg.pixels = 64 * 64;
+  const auto a = build_djpeg(cfg);
+  const u64 ia =
+      sim::run_functional(a.program, cpu::ExecMode::kSempe).instructions;
+  cfg.pixels = 2 * 64 * 64;
+  const auto b = build_djpeg(cfg);
+  const u64 ib =
+      sim::run_functional(b.program, cpu::ExecMode::kSempe).instructions;
+  const double per_block_a = static_cast<double>(ia) / a.blocks;
+  const double per_block_b = static_cast<double>(ib) / b.blocks;
+  EXPECT_NEAR(per_block_a, per_block_b, per_block_a * 0.02);
+}
+
+TEST(Djpeg, EpilogueSizesOrderPpmLessThanGifLessThanBmp) {
+  // PPM has the smallest non-secret epilogue -> fewest total instructions.
+  u64 counts[3];
+  int i = 0;
+  for (OutputFormat f :
+       {OutputFormat::kPpm, OutputFormat::kGif, OutputFormat::kBmp}) {
+    const auto b = build_djpeg(small_cfg(f));
+    counts[i++] =
+        sim::run_functional(b.program, cpu::ExecMode::kLegacy).instructions;
+  }
+  EXPECT_LT(counts[0], counts[1]);
+  EXPECT_LT(counts[1], counts[2]);
+}
+
+TEST(Djpeg, SecureBranchPerBlock) {
+  const auto b = build_djpeg(small_cfg(OutputFormat::kPpm));
+  sim::RunConfig rc;
+  rc.mode = cpu::ExecMode::kSempe;
+  rc.record_observations = false;
+  const auto r = sim::run(b.program, rc);
+  EXPECT_EQ(r.stats.sjmp_executed, b.blocks);
+  EXPECT_EQ(r.stats.secure_regions_completed, b.blocks);
+}
+
+TEST(Djpeg, SempeOverheadWithinFigure8Band) {
+  // The headline property of Fig. 8: overhead well below 2x (both decode
+  // paths execute, but the secure region is only part of the block work).
+  const auto b = build_djpeg(small_cfg(OutputFormat::kPpm));
+  sim::RunConfig rc;
+  rc.record_observations = false;
+  rc.mode = cpu::ExecMode::kLegacy;
+  const auto base = sim::run(b.program, rc);
+  rc.mode = cpu::ExecMode::kSempe;
+  const auto sempe = sim::run(b.program, rc);
+  const double overhead = static_cast<double>(sempe.stats.cycles) /
+                              static_cast<double>(base.stats.cycles) -
+                          1.0;
+  EXPECT_GT(overhead, 0.1);
+  EXPECT_LT(overhead, 1.2);
+}
+
+}  // namespace
+}  // namespace sempe::workloads

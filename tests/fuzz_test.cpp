@@ -1,0 +1,219 @@
+// Property-based tests: randomly generated programs with nested secure
+// regions must (a) compute the same architectural results under SeMPE as
+// under legacy execution, and (b) be observation-indistinguishable across
+// secrets under SeMPE.
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.h"
+#include "core/region_verifier.h"
+#include "security/observation.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace sempe {
+namespace {
+
+using isa::ProgramBuilder;
+using isa::Reg;
+using isa::Secure;
+
+constexpr Reg kFirstScratch = 10;
+constexpr Reg kNumScratch = 10;  // x10..x19
+constexpr Reg kSecretsBase = 4;
+
+/// Emits a random ALU instruction over the scratch registers.
+void emit_random_alu(ProgramBuilder& pb, Rng& rng) {
+  const Reg rd = static_cast<Reg>(kFirstScratch + rng.next_below(kNumScratch));
+  const Reg rs1 = static_cast<Reg>(kFirstScratch + rng.next_below(kNumScratch));
+  const Reg rs2 = static_cast<Reg>(kFirstScratch + rng.next_below(kNumScratch));
+  switch (rng.next_below(8)) {
+    case 0: pb.add(rd, rs1, rs2); break;
+    case 1: pb.sub(rd, rs1, rs2); break;
+    case 2: pb.xor_(rd, rs1, rs2); break;
+    case 3: pb.mul(rd, rs1, rs2); break;
+    case 4: pb.andi(rd, rs1, rng.next_in(0, 1023)); break;
+    case 5: pb.ori(rd, rs1, rng.next_in(0, 1023)); break;
+    case 6: pb.slli(rd, rs1, rng.next_in(0, 7)); break;
+    default: pb.addi(rd, rs1, rng.next_in(-64, 64)); break;
+  }
+}
+
+struct FuzzProgram {
+  isa::Program program;
+  Addr result_base = 0;
+  usize num_results = 0;
+};
+
+/// Random nest of secure regions. Each region: load its secret, sJMP, a
+/// random body (possibly containing a nested region), an optional else
+/// body, eosJMP at the join, and a shadow-store + CMOV merge afterwards.
+FuzzProgram build_fuzz(u64 structure_seed, const std::vector<u8>& secrets) {
+  ProgramBuilder pb;
+  Rng rng(structure_seed);
+
+  std::vector<i64> secret_words;
+  for (u8 s : secrets) secret_words.push_back(s);
+  if (secret_words.empty()) secret_words.push_back(0);
+  const Addr secrets_addr = pb.alloc_words(secret_words);
+  const usize max_regions = secrets.size();
+  const Addr results = pb.alloc(8 * (max_regions + 1), 8);
+
+  pb.li(kSecretsBase, static_cast<i64>(secrets_addr));
+  for (usize r = 0; r < kNumScratch; ++r)
+    pb.li(static_cast<Reg>(kFirstScratch + r), rng.next_in(1, 1000));
+
+  usize next_secret = 0;
+  // Recursive region generator. Depth bounded by the secret count.
+  // `enclosing` lists the secret indices guarding the current emission
+  // point: shadow-memory discipline requires every merge store to be a
+  // constant-time read-modify-write gated by the *effective* (ANDed)
+  // condition, so that executing it on a wrong path is a no-op.
+  // Each enclosing guard is (secret index, polarity): code in an NT path is
+  // reached in legacy execution only when that secret is FALSE.
+  using Guard = std::pair<usize, bool>;
+  std::function<void(usize, std::vector<Guard>)> region =
+      [&](usize depth, std::vector<Guard> enclosing) {
+    if (next_secret >= max_regions) return;
+    const usize idx = next_secret++;
+    const Addr shadow = pb.alloc(8, 8);
+
+    pb.ld(6, kSecretsBase, static_cast<i64>(idx * 8));
+    auto taken = pb.new_label();
+    auto join = pb.new_label();
+    const bool has_else = rng.next_bool();
+    pb.bne(6, isa::kRegZero, taken, Secure::kYes);
+    // NT path (secret == 0). Shadow writes are unconditional within the
+    // path (both modes execute them whenever this code runs).
+    const usize nt_len = 1 + rng.next_below(6);
+    for (usize i = 0; i < nt_len; ++i) emit_random_alu(pb, rng);
+    if (depth < 3 && rng.next_bool()) {
+      std::vector<Guard> g = enclosing;
+      g.push_back({idx, false});  // NT path: reached when secret is false
+      region(depth + 1, g);
+    }
+    if (has_else) {
+      pb.jmp(join);
+      pb.bind(taken);
+      const usize t_len = 1 + rng.next_below(6);
+      for (usize i = 0; i < t_len; ++i) emit_random_alu(pb, rng);
+      // Shadow-store a value the merge can pick up.
+      pb.li(7, static_cast<i64>(shadow));
+      pb.st(static_cast<Reg>(kFirstScratch + rng.next_below(kNumScratch)), 7,
+            0);
+      if (depth < 3 && rng.next_bool()) {
+        std::vector<Guard> g = enclosing;
+        g.push_back({idx, true});  // taken path: reached when secret is true
+        region(depth + 1, g);
+      }
+    } else {
+      pb.bind(taken);
+    }
+    pb.bind(join);
+    pb.eosjmp();
+    // Merge: result[idx] = eff ? shadow : result[idx], where eff is the
+    // polarity-correct AND of this region's reaching condition and its own
+    // secret (the shadow is only written on the taken path). On a wrong
+    // path (SeMPE) eff is 0 and the store rewrites the old value — a
+    // constant-time no-op, preserving legacy-equivalent memory state.
+    std::vector<Guard> eff_guards = enclosing;
+    eff_guards.push_back({idx, true});
+    pb.li(5, 1);
+    for (const auto& [s, pol] : eff_guards) {
+      pb.ld(6, kSecretsBase, static_cast<i64>(s * 8));
+      pb.sne(6, 6, isa::kRegZero);
+      if (!pol) pb.xori(6, 6, 1);
+      pb.and_(5, 5, 6);
+    }
+    pb.li(7, static_cast<i64>(shadow));
+    pb.ld(8, 7, 0);
+    pb.li(7, static_cast<i64>(results + idx * 8));
+    pb.ld(9, 7, 0);
+    pb.cmov(9, 5, 8);
+    pb.st(9, 7, 0);
+  };
+
+  while (next_secret < max_regions) region(0, {});
+
+  // Final summary of all scratch registers (exposes ArchRS restore bugs).
+  pb.li(9, 0);
+  for (usize r = 0; r < kNumScratch; ++r)
+    pb.xor_(9, 9, static_cast<Reg>(kFirstScratch + r));
+  pb.li(7, static_cast<i64>(results + max_regions * 8));
+  pb.st(9, 7, 0);
+  pb.halt();
+
+  FuzzProgram out;
+  out.result_base = results;
+  out.num_results = max_regions + 1;
+  out.program = pb.build();
+  return out;
+}
+
+std::vector<u8> random_secrets(u64 seed, usize n) {
+  Rng rng(seed ^ 0xabcdef);
+  std::vector<u8> s(n);
+  for (auto& b : s) b = rng.next_bool() ? 1 : 0;
+  return s;
+}
+
+class Fuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Fuzz, SempeMatchesLegacyResults) {
+  const u64 seed = GetParam();
+  for (usize regions : {usize{1}, usize{3}, usize{5}}) {
+    const auto secrets = random_secrets(seed + regions, regions);
+    const auto f = build_fuzz(seed, secrets);
+    const auto legacy = sim::run_functional(
+        f.program, cpu::ExecMode::kLegacy, {}, f.result_base, f.num_results);
+    const auto sempe = sim::run_functional(
+        f.program, cpu::ExecMode::kSempe, {}, f.result_base, f.num_results);
+    EXPECT_EQ(legacy.probed, sempe.probed)
+        << "seed=" << seed << " regions=" << regions;
+    // The full scratch-register state also matches.
+    for (Reg r = kFirstScratch; r < kFirstScratch + kNumScratch; ++r) {
+      EXPECT_EQ(legacy.final_state.get_int(r), sempe.final_state.get_int(r))
+          << "seed=" << seed << " reg x" << int(r);
+    }
+  }
+}
+
+TEST_P(Fuzz, SempeIndistinguishableAcrossSecrets) {
+  const u64 seed = GetParam();
+  const usize regions = 4;
+  const auto f0 = build_fuzz(seed, std::vector<u8>(regions, 0));
+  const auto f1 = build_fuzz(seed, random_secrets(seed, regions));
+  const auto r0 = sim::run_functional(f0.program, cpu::ExecMode::kSempe);
+  const auto r1 = sim::run_functional(f1.program, cpu::ExecMode::kSempe);
+  EXPECT_EQ(r0.instructions, r1.instructions) << "seed=" << seed;
+  EXPECT_EQ(r0.trace.fetch_prefix, r1.trace.fetch_prefix) << "seed=" << seed;
+  EXPECT_EQ(r0.trace.mem_prefix, r1.trace.mem_prefix) << "seed=" << seed;
+}
+
+TEST_P(Fuzz, GeneratedProgramsVerifyClean) {
+  const u64 seed = GetParam();
+  const auto f = build_fuzz(seed, random_secrets(seed, 4));
+  core::VerifyOptions opt;
+  opt.allow_div = true;
+  const auto r = core::verify_secure_regions(f.program, opt);
+  EXPECT_TRUE(r.ok()) << "seed=" << seed << "\n" << r.to_string();
+}
+
+TEST_P(Fuzz, TimingAlsoSecretIndependent) {
+  const u64 seed = GetParam();
+  const usize regions = 3;
+  const auto f0 = build_fuzz(seed, std::vector<u8>(regions, 0));
+  const auto f1 = build_fuzz(seed, std::vector<u8>(regions, 1));
+  sim::RunConfig rc;
+  rc.mode = cpu::ExecMode::kSempe;
+  rc.record_observations = false;
+  const auto c0 = sim::run(f0.program, rc).stats.cycles;
+  const auto c1 = sim::run(f1.program, rc).stats.cycles;
+  EXPECT_EQ(c0, c1) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233, 377, 610, 987));
+
+}  // namespace
+}  // namespace sempe

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/jb_table.h"
+
+namespace sempe::core {
+namespace {
+
+TEST(JbTable, ProtocolSingleRegion) {
+  JbTable jb(4);
+  EXPECT_TRUE(jb.can_issue_sjmp());
+  ASSERT_TRUE(jb.allocate());
+  EXPECT_FALSE(jb.top().valid);
+  EXPECT_FALSE(jb.can_issue_sjmp());  // Valid not yet set -> nested stalls
+  jb.commit_sjmp(0x1000, true);
+  EXPECT_TRUE(jb.top().valid);
+  EXPECT_TRUE(jb.can_issue_sjmp());
+  EXPECT_EQ(jb.take_jump_back(), 0x1000u);
+  EXPECT_TRUE(jb.top().jump_back);
+  const JbEntry e = jb.retire();
+  EXPECT_TRUE(e.taken);
+  EXPECT_TRUE(jb.empty());
+}
+
+TEST(JbTable, LifoOrderUnderNesting) {
+  JbTable jb(4);
+  jb.allocate();
+  jb.commit_sjmp(0x100, false);
+  jb.allocate();
+  jb.commit_sjmp(0x200, true);
+  // Inner region resolves first.
+  EXPECT_EQ(jb.take_jump_back(), 0x200u);
+  EXPECT_TRUE(jb.retire().taken);
+  EXPECT_EQ(jb.take_jump_back(), 0x100u);
+  EXPECT_FALSE(jb.retire().taken);
+}
+
+TEST(JbTable, OverflowRefused) {
+  JbTable jb(2);
+  EXPECT_TRUE(jb.allocate());
+  EXPECT_TRUE(jb.allocate());
+  EXPECT_FALSE(jb.allocate());
+  EXPECT_EQ(jb.overflows(), 1u);
+  EXPECT_EQ(jb.high_water(), 2u);
+}
+
+TEST(JbTable, RetireBeforeJumpBackIsProtocolViolation) {
+  JbTable jb(2);
+  jb.allocate();
+  jb.commit_sjmp(0x10, true);
+  EXPECT_THROW(jb.retire(), SimError);
+}
+
+TEST(JbTable, DoubleJumpBackIsProtocolViolation) {
+  JbTable jb(2);
+  jb.allocate();
+  jb.commit_sjmp(0x10, true);
+  jb.take_jump_back();
+  EXPECT_THROW(jb.take_jump_back(), SimError);
+}
+
+TEST(JbTable, SquashNewestForFlushRecovery) {
+  JbTable jb(4);
+  jb.allocate();
+  jb.commit_sjmp(0x100, true);
+  jb.allocate();  // speculative inner sJMP, then the pipeline flushes
+  jb.squash_newest();
+  EXPECT_EQ(jb.depth(), 1u);
+  EXPECT_EQ(jb.take_jump_back(), 0x100u);  // outer region unaffected
+}
+
+TEST(JbTable, HardwareCostIsSmall) {
+  JbTable jb(30);
+  // Paper: each entry is a 64-bit address + jb + Valid (+T/NT); even 30
+  // entries stay well under 256 bytes of state.
+  EXPECT_LT(jb.total_bits(), 256u * 8u);
+}
+
+TEST(JbTable, StatsAccumulate) {
+  JbTable jb(8);
+  for (int i = 0; i < 5; ++i) {
+    jb.allocate();
+    jb.commit_sjmp(0x40, false);
+    jb.take_jump_back();
+    jb.retire();
+  }
+  EXPECT_EQ(jb.allocations(), 5u);
+  EXPECT_EQ(jb.high_water(), 1u);
+}
+
+}  // namespace
+}  // namespace sempe::core

@@ -1,0 +1,159 @@
+// The Fig. 7 microbenchmark harness: correctness in both modes, for both
+// variants, across secrets; plus the structural properties the evaluation
+// relies on (instruction scaling with W, jbTable depth == W, etc.).
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workloads/microbench.h"
+
+namespace sempe::workloads {
+namespace {
+
+sim::FunctionalResult run_mb(const BuiltMicrobench& b, cpu::ExecMode mode) {
+  return sim::run_functional(b.program, mode, {}, b.results_addr,
+                             b.num_results);
+}
+
+MicrobenchConfig base_cfg(Kind kd, usize w) {
+  MicrobenchConfig cfg;
+  cfg.kind = kd;
+  cfg.width = w;
+  cfg.iterations = 2;
+  cfg.size = kd == Kind::kFibonacci ? 20
+             : kd == Kind::kOnes    ? 16
+             : kd == Kind::kQuicksort ? 12
+                                      : 4;
+  return cfg;
+}
+
+class MicrobenchAllKinds : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(MicrobenchAllKinds, SecureVariantCorrectInBothModes) {
+  for (usize w : {usize{0}, usize{1}, usize{3}}) {
+    MicrobenchConfig cfg = base_cfg(GetParam(), w);
+    cfg.secrets.assign(w, 1);  // all true: every level's result visible
+    const BuiltMicrobench b = build_microbench(cfg);
+    const auto legacy = run_mb(b, cpu::ExecMode::kLegacy);
+    const auto sempe = run_mb(b, cpu::ExecMode::kSempe);
+    EXPECT_EQ(legacy.probed, b.expected_results) << "legacy W=" << w;
+    EXPECT_EQ(sempe.probed, b.expected_results) << "sempe W=" << w;
+  }
+}
+
+TEST_P(MicrobenchAllKinds, SecureVariantCorrectWithMixedSecrets) {
+  MicrobenchConfig cfg = base_cfg(GetParam(), 4);
+  cfg.secrets = {1, 0, 1, 1};  // level 2 false cuts off levels 2..4
+  const BuiltMicrobench b = build_microbench(cfg);
+  const auto legacy = run_mb(b, cpu::ExecMode::kLegacy);
+  const auto sempe = run_mb(b, cpu::ExecMode::kSempe);
+  EXPECT_EQ(legacy.probed, b.expected_results);
+  EXPECT_EQ(sempe.probed, b.expected_results);
+  // Expected: level1 visible, levels 2-4 zero, level5 visible.
+  EXPECT_NE(b.expected_results[0], 0u);
+  EXPECT_EQ(b.expected_results[1], 0u);
+  EXPECT_EQ(b.expected_results[2], 0u);
+  EXPECT_EQ(b.expected_results[3], 0u);
+  EXPECT_NE(b.expected_results[4], 0u);
+}
+
+TEST_P(MicrobenchAllKinds, CteVariantCorrectAcrossSecrets) {
+  for (auto secrets : std::vector<std::vector<u8>>{
+           {0, 0, 0}, {1, 1, 1}, {1, 0, 1}}) {
+    MicrobenchConfig cfg = base_cfg(GetParam(), 3);
+    cfg.variant = Variant::kCte;
+    cfg.secrets = secrets;
+    const BuiltMicrobench b = build_microbench(cfg);
+    const auto r = run_mb(b, cpu::ExecMode::kLegacy);
+    EXPECT_EQ(r.probed, b.expected_results);
+  }
+}
+
+TEST_P(MicrobenchAllKinds, CteInstructionCountSecretIndependent) {
+  u64 counts[2];
+  int i = 0;
+  for (u8 s : {u8{0}, u8{1}}) {
+    MicrobenchConfig cfg = base_cfg(GetParam(), 2);
+    cfg.variant = Variant::kCte;
+    cfg.secrets = {s, s};
+    const BuiltMicrobench b = build_microbench(cfg);
+    counts[i++] = sim::run_functional(b.program, cpu::ExecMode::kLegacy)
+                      .instructions;
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST_P(MicrobenchAllKinds, SempeInstructionCountSecretIndependent) {
+  u64 counts[2];
+  int i = 0;
+  for (u8 s : {u8{0}, u8{1}}) {
+    MicrobenchConfig cfg = base_cfg(GetParam(), 2);
+    cfg.secrets = {s, s};
+    const BuiltMicrobench b = build_microbench(cfg);
+    counts[i++] =
+        sim::run_functional(b.program, cpu::ExecMode::kSempe).instructions;
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MicrobenchAllKinds,
+                         ::testing::Values(Kind::kFibonacci, Kind::kOnes,
+                                           Kind::kQuicksort, Kind::kQueens),
+                         [](const auto& info) {
+                           return std::string(kind_name(info.param));
+                         });
+
+TEST(Microbench, JbTableDepthEqualsNestingWidth) {
+  MicrobenchConfig cfg = base_cfg(Kind::kFibonacci, 7);
+  const BuiltMicrobench b = build_microbench(cfg);
+  const auto r = sim::run_functional(b.program, cpu::ExecMode::kSempe);
+  EXPECT_EQ(r.jb_high_water, 7u);
+}
+
+TEST(Microbench, SempeExecutesAllLevelsRegardlessOfSecrets) {
+  // With all secrets false, legacy skips all W workloads; SeMPE runs them.
+  MicrobenchConfig cfg = base_cfg(Kind::kOnes, 4);
+  const BuiltMicrobench b = build_microbench(cfg);
+  const auto legacy = sim::run_functional(b.program, cpu::ExecMode::kLegacy);
+  const auto sempe = sim::run_functional(b.program, cpu::ExecMode::kSempe);
+  // SeMPE executes ~ (W+1)x the workload instructions of legacy.
+  EXPECT_GT(sempe.instructions, 3 * legacy.instructions);
+}
+
+TEST(Microbench, InstructionsScaleLinearlyWithWidthUnderSempe) {
+  u64 prev = 0;
+  for (usize w : {usize{1}, usize{2}, usize{4}}) {
+    MicrobenchConfig cfg = base_cfg(Kind::kFibonacci, w);
+    const BuiltMicrobench b = build_microbench(cfg);
+    const u64 n =
+        sim::run_functional(b.program, cpu::ExecMode::kSempe).instructions;
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Microbench, WidthZeroHasNoSecureBranches) {
+  MicrobenchConfig cfg = base_cfg(Kind::kQuicksort, 0);
+  const BuiltMicrobench b = build_microbench(cfg);
+  const auto r = run_mb(b, cpu::ExecMode::kSempe);
+  EXPECT_EQ(r.jb_high_water, 0u);
+  EXPECT_EQ(r.probed.size(), 1u);
+  EXPECT_EQ(r.probed, b.expected_results);
+}
+
+TEST(Microbench, RejectsExcessiveWidth) {
+  MicrobenchConfig cfg = base_cfg(Kind::kFibonacci, 31);
+  EXPECT_THROW(build_microbench(cfg), SimError);
+}
+
+TEST(Microbench, SameBinaryBothModes) {
+  // Backward compatibility: identical encoded words run in both modes.
+  MicrobenchConfig cfg = base_cfg(Kind::kQueens, 2);
+  cfg.secrets = {1, 1};
+  const BuiltMicrobench b = build_microbench(cfg);
+  const auto legacy = run_mb(b, cpu::ExecMode::kLegacy);
+  const auto sempe = run_mb(b, cpu::ExecMode::kSempe);
+  EXPECT_EQ(legacy.probed, sempe.probed);
+}
+
+}  // namespace
+}  // namespace sempe::workloads

@@ -1,0 +1,96 @@
+// Unit tests for the observation-trace recorder itself.
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.h"
+#include "security/observation.h"
+#include "sim/simulator.h"
+
+namespace sempe::security {
+namespace {
+
+using isa::ProgramBuilder;
+
+TEST(Observation, FetchEventsAreLineGranular) {
+  ProgramBuilder pb;
+  for (int i = 0; i < 20; ++i) pb.nop();  // spans 3 cache lines
+  pb.halt();
+  const auto r = sim::run_functional(pb.build(), cpu::ExecMode::kLegacy);
+  // 21 fetches, but only 3 distinct lines in the prefix.
+  EXPECT_EQ(r.trace.fetch_count, 21u);
+  std::set<Addr> lines(r.trace.fetch_prefix.begin(),
+                       r.trace.fetch_prefix.end());
+  EXPECT_EQ(lines.size(), 3u);
+  for (Addr a : lines) EXPECT_EQ(a % 64, 0u);
+}
+
+TEST(Observation, MemoryEventsEncodeDirection) {
+  ProgramBuilder pb;
+  const Addr buf = pb.alloc(8, 64);
+  pb.li(1, static_cast<i64>(buf));
+  pb.st(1, 1, 0);
+  pb.ld(2, 1, 0);
+  pb.halt();
+  const auto r = sim::run_functional(pb.build(), cpu::ExecMode::kLegacy);
+  ASSERT_EQ(r.trace.mem_prefix.size(), 2u);
+  EXPECT_EQ(r.trace.mem_prefix[0] & 1, 1u);  // store
+  EXPECT_EQ(r.trace.mem_prefix[1] & 1, 0u);  // load
+  EXPECT_EQ(r.trace.mem_prefix[0] >> 1, buf);
+}
+
+TEST(Observation, HashCoversEventsBeyondThePrefix) {
+  // Two long runs differing only past the prefix capacity must still have
+  // different hashes.
+  auto build = [](i64 tail_value) {
+    ProgramBuilder pb;
+    const Addr buf = pb.alloc(16 * 8, 64);
+    pb.li(1, static_cast<i64>(buf));
+    pb.li(2, 6000);  // > prefix capacity iterations
+    auto top = pb.new_label();
+    pb.bind(top);
+    pb.st(2, 1, 0);
+    pb.addi(2, 2, -1);
+    pb.bne(2, isa::kRegZero, top);
+    // One extra access whose ADDRESS depends on the parameter, far past
+    // the recorded prefix.
+    pb.li(3, tail_value);
+    pb.add(3, 1, 3);
+    pb.ld(4, 3, 0);
+    pb.halt();
+    return pb.build();
+  };
+  const auto a = sim::run_functional(build(0), cpu::ExecMode::kLegacy);
+  const auto b = sim::run_functional(build(64), cpu::ExecMode::kLegacy);
+  EXPECT_EQ(a.trace.mem_prefix, b.trace.mem_prefix);  // prefixes identical
+  EXPECT_NE(a.trace.mem_hash, b.trace.mem_hash);      // hash still catches it
+}
+
+TEST(Observation, RecorderReplacesHooksCleanly) {
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.halt();
+  const auto prog = pb.build();
+  mem::MainMemory memory;
+  cpu::FunctionalCore core(&prog, &memory, {});
+  ObservationRecorder r1, r2;
+  r1.attach(core);
+  r2.attach(core);  // replaces r1's hooks
+  core.run_to_halt();
+  EXPECT_EQ(r1.trace().fetch_count, 0u);
+  EXPECT_EQ(r2.trace().fetch_count, 2u);
+}
+
+TEST(Observation, EqualTracesHashEqual) {
+  ProgramBuilder pb1, pb2;
+  for (auto* pb : {&pb1, &pb2}) {
+    pb->li(1, 7);
+    pb->addi(1, 1, 1);
+    pb->halt();
+  }
+  const auto a = sim::run_functional(pb1.build(), cpu::ExecMode::kLegacy);
+  const auto b = sim::run_functional(pb2.build(), cpu::ExecMode::kLegacy);
+  EXPECT_EQ(a.trace.fetch_hash, b.trace.fetch_hash);
+  EXPECT_FALSE(compare(a.trace, b.trace).distinguishable);
+}
+
+}  // namespace
+}  // namespace sempe::security

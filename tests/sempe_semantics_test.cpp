@@ -1,0 +1,349 @@
+// Functional semantics of SeMPE execution: both paths execute and commit,
+// ArchRS restores the architecturally correct register state, nested
+// regions work, and legacy mode remains backward compatible.
+#include <gtest/gtest.h>
+
+#include "cpu/functional_core.h"
+#include "isa/program_builder.h"
+
+namespace sempe {
+namespace {
+
+using cpu::CoreConfig;
+using cpu::ExecMode;
+using cpu::FunctionalCore;
+using cpu::SempeEvent;
+using isa::ProgramBuilder;
+using isa::Secure;
+
+struct Ran {
+  isa::Program program;
+  mem::MainMemory memory;
+  std::unique_ptr<FunctionalCore> core;
+  std::vector<cpu::DynOp> ops;
+};
+
+std::unique_ptr<Ran> run_prog(ProgramBuilder& pb, ExecMode mode,
+                              CoreConfig cfg = {}) {
+  auto r = std::make_unique<Ran>();
+  r->program = pb.build();
+  cfg.mode = mode;
+  r->core = std::make_unique<FunctionalCore>(&r->program, &r->memory, cfg);
+  while (!r->core->halted()) r->ops.push_back(r->core->step());
+  return r;
+}
+
+/// if (x1 != 0) { x2 = 100 } else { x2 = 200 }; x3 = x2 + 1
+void emit_if_else(ProgramBuilder& pb, i64 secret) {
+  pb.li(1, secret);
+  pb.li(2, 0);
+  auto taken = pb.new_label();
+  auto join = pb.new_label();
+  pb.bne(1, isa::kRegZero, taken, Secure::kYes);
+  pb.li(2, 200);  // NT path (secret == 0)
+  pb.jmp(join);
+  pb.bind(taken);
+  pb.li(2, 100);  // T path (secret != 0)
+  pb.bind(join);
+  pb.eosjmp();
+  pb.addi(3, 2, 1);
+  pb.halt();
+}
+
+TEST(SempeSemantics, IfElseCorrectResultBothSecrets) {
+  for (i64 secret : {0, 1}) {
+    ProgramBuilder pb;
+    emit_if_else(pb, secret);
+    auto legacy = [&] {
+      ProgramBuilder pb2;
+      emit_if_else(pb2, secret);
+      return run_prog(pb2, ExecMode::kLegacy);
+    }();
+    auto sempe = run_prog(pb, ExecMode::kSempe);
+    const i64 expect = secret ? 101 : 201;
+    EXPECT_EQ(legacy->core->state().get_int(3), expect) << "secret=" << secret;
+    EXPECT_EQ(sempe->core->state().get_int(3), expect) << "secret=" << secret;
+  }
+}
+
+TEST(SempeSemantics, BothPathsExecuteUnderSempe) {
+  ProgramBuilder pb;
+  emit_if_else(pb, 1);
+  auto sempe = run_prog(pb, ExecMode::kSempe);
+  // Find the two path bodies among executed PCs: both li 200 and li 100 must
+  // have executed. Count kLimm with imm 100/200.
+  int saw100 = 0, saw200 = 0;
+  for (const auto& op : sempe->ops) {
+    if (op.ins.op == isa::Opcode::kLimm && op.ins.imm == 100) ++saw100;
+    if (op.ins.op == isa::Opcode::kLimm && op.ins.imm == 200) ++saw200;
+  }
+  EXPECT_EQ(saw100, 1);
+  EXPECT_EQ(saw200, 1);
+}
+
+TEST(SempeSemantics, LegacyExecutesOnlyTruePath) {
+  ProgramBuilder pb;
+  emit_if_else(pb, 1);
+  auto legacy = run_prog(pb, ExecMode::kLegacy);
+  int saw100 = 0, saw200 = 0;
+  for (const auto& op : legacy->ops) {
+    if (op.ins.op == isa::Opcode::kLimm && op.ins.imm == 100) ++saw100;
+    if (op.ins.op == isa::Opcode::kLimm && op.ins.imm == 200) ++saw200;
+  }
+  EXPECT_EQ(saw100, 1);
+  EXPECT_EQ(saw200, 0);
+}
+
+TEST(SempeSemantics, NotTakenPathAlwaysExecutesFirst) {
+  ProgramBuilder pb;
+  emit_if_else(pb, 1);  // taken branch: T path is the true path
+  auto sempe = run_prog(pb, ExecMode::kSempe);
+  usize idx100 = 0, idx200 = 0;
+  for (usize i = 0; i < sempe->ops.size(); ++i) {
+    if (sempe->ops[i].ins.op == isa::Opcode::kLimm) {
+      if (sempe->ops[i].ins.imm == 100) idx100 = i;
+      if (sempe->ops[i].ins.imm == 200) idx200 = i;
+    }
+  }
+  EXPECT_LT(idx200, idx100);  // NT (else) body first regardless of secret
+}
+
+TEST(SempeSemantics, SempeEventsEmittedInOrder) {
+  ProgramBuilder pb;
+  emit_if_else(pb, 0);
+  auto sempe = run_prog(pb, ExecMode::kSempe);
+  std::vector<SempeEvent> evs;
+  for (const auto& op : sempe->ops)
+    if (op.event != SempeEvent::kNone) evs.push_back(op.event);
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0], SempeEvent::kSjmpEnter);
+  EXPECT_EQ(evs[1], SempeEvent::kEosFirst);
+  EXPECT_EQ(evs[2], SempeEvent::kEosSecond);
+}
+
+TEST(SempeSemantics, RegisterRestoredWhenFalsePathClobbers) {
+  // if (secret==0 is NT): NT path writes x5; secret=1 means T path is true,
+  // so x5 must NOT keep the NT path's value.
+  ProgramBuilder pb;
+  pb.li(1, 1);   // secret true -> branch taken -> T path is correct
+  pb.li(5, 7);   // live value
+  auto taken = pb.new_label();
+  auto join = pb.new_label();
+  pb.bne(1, isa::kRegZero, taken, Secure::kYes);
+  pb.li(5, 999);  // NT path clobbers x5 (wrong path here)
+  pb.jmp(join);
+  pb.bind(taken);
+  pb.addi(5, 5, 1);  // T path: x5 = 8
+  pb.bind(join);
+  pb.eosjmp();
+  pb.halt();
+  auto sempe = run_prog(pb, ExecMode::kSempe);
+  EXPECT_EQ(sempe->core->state().get_int(5), 8);
+}
+
+TEST(SempeSemantics, RegisterRestoredWhenTruePathIsNotTaken) {
+  // secret=0: NT path is the true path; the T path's clobber must be undone.
+  ProgramBuilder pb;
+  pb.li(1, 0);
+  pb.li(5, 7);
+  auto taken = pb.new_label();
+  auto join = pb.new_label();
+  pb.bne(1, isa::kRegZero, taken, Secure::kYes);
+  pb.addi(5, 5, 10);  // NT path (true): x5 = 17
+  pb.jmp(join);
+  pb.bind(taken);
+  pb.li(5, 999);  // T path (wrong): clobber
+  pb.bind(join);
+  pb.eosjmp();
+  pb.halt();
+  auto sempe = run_prog(pb, ExecMode::kSempe);
+  EXPECT_EQ(sempe->core->state().get_int(5), 17);
+}
+
+TEST(SempeSemantics, RegisterModifiedInNeitherPathKeptIntact) {
+  ProgramBuilder pb;
+  pb.li(1, 0);
+  pb.li(6, 1234);
+  auto join = pb.new_label();
+  pb.bne(1, isa::kRegZero, join, Secure::kYes);
+  pb.li(5, 1);  // NT body
+  pb.bind(join);
+  pb.eosjmp();
+  pb.halt();
+  auto sempe = run_prog(pb, ExecMode::kSempe);
+  EXPECT_EQ(sempe->core->state().get_int(6), 1234);
+}
+
+void emit_nested(ProgramBuilder& pb, i64 s1, i64 s2) {
+  // if (s1) { x5 += 1; if (s2) { x5 += 10 } }  with empty else paths.
+  pb.li(1, s1);
+  pb.li(2, s2);
+  pb.li(5, 0);
+  auto j1 = pb.new_label();
+  auto j2 = pb.new_label();
+  pb.beq(1, isa::kRegZero, j1, Secure::kYes);  // skip when s1 == 0
+  pb.addi(5, 5, 1);
+  pb.beq(2, isa::kRegZero, j2, Secure::kYes);
+  pb.addi(5, 5, 10);
+  pb.bind(j2);
+  pb.eosjmp();
+  pb.bind(j1);
+  pb.eosjmp();
+  pb.halt();
+}
+
+TEST(SempeSemantics, NestedRegionsAllSecretCombinations) {
+  for (i64 s1 : {0, 1}) {
+    for (i64 s2 : {0, 1}) {
+      ProgramBuilder pbL, pbS;
+      emit_nested(pbL, s1, s2);
+      emit_nested(pbS, s1, s2);
+      auto legacy = run_prog(pbL, ExecMode::kLegacy);
+      auto sempe = run_prog(pbS, ExecMode::kSempe);
+      const i64 expect = (s1 ? 1 : 0) + ((s1 && s2) ? 10 : 0);
+      EXPECT_EQ(legacy->core->state().get_int(5), expect)
+          << "s1=" << s1 << " s2=" << s2;
+      EXPECT_EQ(sempe->core->state().get_int(5), expect)
+          << "s1=" << s1 << " s2=" << s2;
+    }
+  }
+}
+
+TEST(SempeSemantics, NestedDepthTrackedByJbTable) {
+  ProgramBuilder pb;
+  emit_nested(pb, 1, 1);
+  auto r = run_prog(pb, ExecMode::kSempe);
+  EXPECT_EQ(r->core->jb_table().high_water(), 2u);
+  EXPECT_EQ(r->core->jb_table().depth(), 0u);  // all retired
+  EXPECT_EQ(r->core->jb_table().allocations(), 2u);
+}
+
+TEST(SempeSemantics, InstructionCountIndependentOfSecret) {
+  u64 counts[2];
+  for (i64 s : {0, 1}) {
+    ProgramBuilder pb;
+    emit_if_else(pb, s);
+    auto r = run_prog(pb, ExecMode::kSempe);
+    counts[s] = r->core->instructions_executed();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST(SempeSemantics, EosjmpWithoutRegionIsNop) {
+  ProgramBuilder pb;
+  pb.li(1, 5);
+  pb.eosjmp();
+  pb.addi(1, 1, 1);
+  pb.halt();
+  auto r = run_prog(pb, ExecMode::kSempe);
+  EXPECT_EQ(r->core->state().get_int(1), 6);
+}
+
+TEST(SempeSemantics, LegacyModeTreatsEosjmpAsNop) {
+  ProgramBuilder pb;
+  emit_if_else(pb, 0);
+  auto r = run_prog(pb, ExecMode::kLegacy);
+  for (const auto& op : r->ops) {
+    if (op.ins.is_eosjmp()) EXPECT_EQ(op.event, SempeEvent::kNone);
+  }
+}
+
+TEST(SempeSemantics, OverflowTrapsByDefault) {
+  // Build nesting deeper than the configured jbTable.
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  std::vector<ProgramBuilder::Label> joins;
+  for (int i = 0; i < 4; ++i) {
+    auto j = pb.new_label();
+    joins.push_back(j);
+    pb.beq(1, isa::kRegZero, j, Secure::kYes);  // never skips; nests 4 deep
+    pb.addi(5, 5, 1);
+  }
+  for (int i = 3; i >= 0; --i) {
+    pb.bind(joins[static_cast<usize>(i)]);
+    pb.eosjmp();
+  }
+  pb.halt();
+  auto prog = pb.build();
+  mem::MainMemory memory;
+  CoreConfig cfg;
+  cfg.mode = ExecMode::kSempe;
+  cfg.jb_entries = 2;
+  FunctionalCore core(&prog, &memory, cfg);
+  EXPECT_THROW(core.run_to_halt(), SimError);
+}
+
+TEST(SempeSemantics, OverflowFallbackRunsNonSecure) {
+  ProgramBuilder pb;
+  pb.li(1, 0);  // secret false: branches taken (skip), including overflowed
+  std::vector<ProgramBuilder::Label> joins;
+  for (int i = 0; i < 4; ++i) {
+    auto j = pb.new_label();
+    joins.push_back(j);
+    pb.bne(1, isa::kRegZero, j, Secure::kYes);  // not taken; always nest
+    pb.addi(5, 5, 1);
+  }
+  for (int i = 3; i >= 0; --i) {
+    pb.bind(joins[static_cast<usize>(i)]);
+    pb.eosjmp();
+  }
+  pb.halt();
+  auto prog = pb.build();
+  mem::MainMemory memory;
+  CoreConfig cfg;
+  cfg.mode = ExecMode::kSempe;
+  cfg.jb_entries = 2;
+  cfg.overflow = cpu::OverflowPolicy::kRunNonSecure;
+  FunctionalCore core(&prog, &memory, cfg);
+  EXPECT_NO_THROW(core.run_to_halt());
+  EXPECT_EQ(core.state().get_int(5), 4);  // all bodies executed correctly
+}
+
+TEST(SempeSemantics, ShadowMemoryCmovDiscipline) {
+  // The canonical pattern: both paths store to their own shadow slots; a
+  // CMOV after the join commits the true value. Result must match legacy
+  // for both secrets, and the *set* of stores must be secret-independent
+  // under SeMPE.
+  auto build = [](i64 secret, ProgramBuilder& pb) {
+    const Addr shadow_a = pb.alloc(8, 8);
+    const Addr shadow_b = pb.alloc(8, 8);
+    const Addr result = pb.alloc(8, 8);
+    pb.li(1, secret);
+    auto taken = pb.new_label();
+    auto join = pb.new_label();
+    pb.bne(1, isa::kRegZero, taken, Secure::kYes);
+    pb.li(10, 200);
+    pb.li(11, static_cast<i64>(shadow_b));
+    pb.st(10, 11, 0);
+    pb.jmp(join);
+    pb.bind(taken);
+    pb.li(10, 100);
+    pb.li(11, static_cast<i64>(shadow_a));
+    pb.st(10, 11, 0);
+    pb.bind(join);
+    pb.eosjmp();
+    // merge: x12 = secret ? shadow_a : shadow_b
+    pb.li(11, static_cast<i64>(shadow_b));
+    pb.ld(12, 11, 0);
+    pb.li(11, static_cast<i64>(shadow_a));
+    pb.ld(13, 11, 0);
+    pb.cmov(12, 1, 13);
+    pb.li(11, static_cast<i64>(result));
+    pb.st(12, 11, 0);
+    pb.halt();
+    return result;
+  };
+  for (i64 s : {0, 1}) {
+    ProgramBuilder pbL, pbS;
+    build(s, pbL);
+    const Addr result = build(s, pbS);
+    auto legacy = run_prog(pbL, ExecMode::kLegacy);
+    auto sempe = run_prog(pbS, ExecMode::kSempe);
+    const i64 expect = s ? 100 : 200;
+    EXPECT_EQ(static_cast<i64>(legacy->memory.read_u64(result)), expect);
+    EXPECT_EQ(static_cast<i64>(sempe->memory.read_u64(result)), expect);
+  }
+}
+
+}  // namespace
+}  // namespace sempe

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/fixed_lifo.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sempe {
+namespace {
+
+TEST(Bits, PowerOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(~0ull), 63u);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ull);
+  EXPECT_EQ(low_mask(1), 1ull);
+  EXPECT_EQ(low_mask(8), 0xffull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  const u64 x = 0xdeadbeefcafebabeull;
+  for (u32 lo : {0u, 7u, 32u, 50u}) {
+    const u64 v = bits_of(x, lo, 10);
+    const u64 y = bits_set(0, lo, 10, v);
+    EXPECT_EQ(bits_of(y, lo, 10), v);
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0xffffffffull, 32), -1);
+  EXPECT_EQ(sign_extend(5, 32), 5);
+}
+
+TEST(Bits, FoldBits) {
+  EXPECT_EQ(fold_bits(0, 8), 0ull);
+  // Folding is an xor of 8-bit chunks.
+  EXPECT_EQ(fold_bits(0x0102ull, 8), 0x01ull ^ 0x02ull);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const i64 v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZeroSeedDoesNotStick) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), 0u);
+}
+
+TEST(FixedLifo, PushPopOrder) {
+  FixedLifo<int> l(3);
+  EXPECT_TRUE(l.empty());
+  EXPECT_TRUE(l.push(1));
+  EXPECT_TRUE(l.push(2));
+  EXPECT_TRUE(l.push(3));
+  EXPECT_TRUE(l.full());
+  EXPECT_FALSE(l.push(4));  // overflow refused
+  EXPECT_EQ(l.pop(), 3);
+  EXPECT_EQ(l.pop(), 2);
+  EXPECT_EQ(l.pop(), 1);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(FixedLifo, TopAndAt) {
+  FixedLifo<int> l(4);
+  l.push(10);
+  l.push(20);
+  EXPECT_EQ(l.top(), 20);
+  EXPECT_EQ(l.at(0), 10);
+  EXPECT_EQ(l.at(1), 20);
+}
+
+TEST(FixedLifo, PopEmptyThrows) {
+  FixedLifo<int> l(1);
+  EXPECT_THROW(l.pop(), SimError);
+  EXPECT_THROW(l.top(), SimError);
+}
+
+TEST(Stats, CountersAndRatios) {
+  StatSet s;
+  s.add("hits", 3);
+  s.add("hits");
+  s.add("total", 8);
+  EXPECT_EQ(s.get("hits"), 4u);
+  EXPECT_EQ(s.get("absent"), 0u);
+  EXPECT_DOUBLE_EQ(s.ratio("hits", "total"), 0.5);
+  EXPECT_DOUBLE_EQ(s.ratio("hits", "absent"), 0.0);
+}
+
+TEST(Stats, Merge) {
+  StatSet a, b;
+  a.add("x", 1);
+  b.add("x", 2);
+  b.add("y", 5);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 3u);
+  EXPECT_EQ(a.get("y"), 5u);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    SEMPE_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sempe
