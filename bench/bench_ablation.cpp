@@ -8,98 +8,126 @@
 //   2. SPM throughput: how the 64B/cycle port of Table II affects overhead.
 //   3. Prefetchers: the "prefetching effect" that lets SeMPE approach (and
 //      against the standalone ideal, beat) the sum-of-paths bound.
-#include <benchmark/benchmark.h>
-
+//
+// All 31 ablation points are independent and run concurrently through
+// sim/batch_runner.h; the sections below recombine them by index.
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 
 namespace {
 
 using namespace sempe;
-using sim::env_usize;
-using sim::measure_microbench;
+using sim::MicrobenchJob;
 using sim::MicrobenchOptions;
 using workloads::Kind;
 
-MicrobenchOptions base_opts() {
-  MicrobenchOptions o;
-  o.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
-  return o;
-}
+constexpr usize kSnapshotWidths = 8;                   // W = 1..8, 3 jobs each
+constexpr u32 kSpmRates[] = {8, 16, 32, 64, 128};      // B/cycle
+constexpr usize kNumSpm = sizeof kSpmRates / sizeof *kSpmRates;
 
-void BM_SnapshotMechanism(benchmark::State& state) {
-  const auto w = static_cast<usize>(state.range(0));
-  sim::MicrobenchPoint arch, phy, lrs;
-  for (auto _ : state) {
-    MicrobenchOptions o = base_opts();
-    o.snapshot_model = cpu::SnapshotModel::kArchRS;
-    arch = measure_microbench(Kind::kOnes, w, o);
-    o.snapshot_model = cpu::SnapshotModel::kPhyRS;
-    phy = measure_microbench(Kind::kOnes, w, o);
-    o.snapshot_model = cpu::SnapshotModel::kLRS;
-    o.extra_front_end_depth = 1;  // the tagged-rename pipeline stage
-    o.rename_width_override = 4;  // tag-lookup ports halve rename bandwidth
-    lrs = measure_microbench(Kind::kOnes, w, o);
+MicrobenchJob snapshot_job(usize w, cpu::SnapshotModel model, const char* name,
+                           const MicrobenchOptions& base) {
+  MicrobenchJob j;
+  j.label = std::string("snapshot/") + name + "/W=" + std::to_string(w);
+  j.kind = Kind::kOnes;
+  j.width = w;
+  j.opt = base;
+  j.opt.snapshot_model = model;
+  if (model == cpu::SnapshotModel::kLRS) {
+    j.opt.extra_front_end_depth = 1;  // the tagged-rename pipeline stage
+    j.opt.rename_width_override = 4;  // tag-lookup ports halve rename width
   }
-  // Normalize every configuration's protected run against the SAME
-  // (ArchRS-machine) unprotected baseline: LRS's rename-table stage taxes
-  // the whole program — including code outside secure regions — which is
-  // exactly the paper's objection to it.
-  const double b = static_cast<double>(arch.baseline_cycles);
-  const double arch_x = static_cast<double>(arch.sempe_cycles) / b;
-  const double phy_x = static_cast<double>(phy.sempe_cycles) / b;
-  const double lrs_x = static_cast<double>(lrs.sempe_cycles) / b;
-  const double lrs_base_tax =
-      static_cast<double>(lrs.baseline_cycles) / b - 1.0;
-  state.counters["archrs_x"] = arch_x;
-  state.counters["phyrs_x"] = phy_x;
-  state.counters["lrs_x"] = lrs_x;
-  std::printf(
-      "Ablation/snapshot  W=%zu  ArchRS %5.2fx   PhyRS %5.2fx   LRS %5.2fx "
-      "(+%4.1f%% tax on unprotected code)\n",
-      w, arch_x, phy_x, lrs_x, lrs_base_tax * 100.0);
+  return j;
 }
-BENCHMARK(BM_SnapshotMechanism)
-    ->DenseRange(1, 8, 1)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
-
-void BM_SpmThroughput(benchmark::State& state) {
-  const u32 bytes_per_cycle = static_cast<u32>(state.range(0));
-  double slowdown = 0;
-  for (auto _ : state) {
-    MicrobenchOptions o = base_opts();
-    o.spm_bytes_per_cycle = bytes_per_cycle;
-    slowdown = measure_microbench(Kind::kFibonacci, 4, o).sempe_slowdown();
-  }
-  state.counters["sempe_x"] = slowdown;
-  std::printf("Ablation/spm  %3u B/cycle  SeMPE %5.2fx (fibonacci, W=4)\n",
-              bytes_per_cycle, slowdown);
-}
-BENCHMARK(BM_SpmThroughput)
-    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
-
-void BM_PrefetchingEffect(benchmark::State& state) {
-  const bool enabled = state.range(0) != 0;
-  double vs_ideal = 0;
-  for (auto _ : state) {
-    MicrobenchOptions o = base_opts();
-    o.enable_prefetchers = enabled;
-    vs_ideal = measure_microbench(Kind::kOnes, 6, o)
-                   .sempe_vs_ideal_standalone();
-  }
-  state.counters["sempe_vs_ideal"] = vs_ideal;
-  std::printf("Ablation/prefetch  %s  SeMPE/ideal(standalone) = %.3f (ones, W=6)\n",
-              enabled ? "on " : "off", vs_ideal);
-}
-BENCHMARK(BM_PrefetchingEffect)
-    ->Arg(1)->Arg(0)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Ablations: snapshot / SPM / prefetch",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
+
+  MicrobenchOptions base;
+  base.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
+
+  std::vector<MicrobenchJob> jobs;
+  // Section 1: snapshot mechanism, 3 configurations per width.
+  for (usize w = 1; w <= kSnapshotWidths; ++w) {
+    jobs.push_back(
+        snapshot_job(w, cpu::SnapshotModel::kArchRS, "archrs", base));
+    jobs.push_back(snapshot_job(w, cpu::SnapshotModel::kPhyRS, "phyrs", base));
+    jobs.push_back(snapshot_job(w, cpu::SnapshotModel::kLRS, "lrs", base));
+  }
+  const usize spm_begin = jobs.size();
+  // Section 2: SPM port throughput.
+  for (const u32 rate : kSpmRates) {
+    MicrobenchJob j;
+    j.label = "spm/" + std::to_string(rate) + "B";
+    j.kind = Kind::kFibonacci;
+    j.width = 4;
+    j.opt = base;
+    j.opt.spm_bytes_per_cycle = rate;
+    jobs.push_back(std::move(j));
+  }
+  const usize prefetch_begin = jobs.size();
+  // Section 3: prefetching effect, on then off.
+  for (const bool enabled : {true, false}) {
+    MicrobenchJob j;
+    j.label = std::string("prefetch/") + (enabled ? "on" : "off");
+    j.kind = Kind::kOnes;
+    j.width = 6;
+    j.opt = base;
+    j.opt.enable_prefetchers = enabled;
+    jobs.push_back(std::move(j));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (usize w = 1; w <= kSnapshotWidths; ++w) {
+    const auto& arch = points[(w - 1) * 3 + 0];
+    const auto& phy = points[(w - 1) * 3 + 1];
+    const auto& lrs = points[(w - 1) * 3 + 2];
+    // Normalize every configuration's protected run against the SAME
+    // (ArchRS-machine) unprotected baseline: LRS's rename-table stage taxes
+    // the whole program — including code outside secure regions — which is
+    // exactly the paper's objection to it.
+    const double b = static_cast<double>(arch.baseline_cycles);
+    const double lrs_base_tax =
+        static_cast<double>(lrs.baseline_cycles) / b - 1.0;
+    std::fprintf(out,
+        "Ablation/snapshot  W=%zu  ArchRS %5.2fx   PhyRS %5.2fx   LRS %5.2fx "
+        "(+%4.1f%% tax on unprotected code)\n",
+        w, static_cast<double>(arch.sempe_cycles) / b,
+        static_cast<double>(phy.sempe_cycles) / b,
+        static_cast<double>(lrs.sempe_cycles) / b, lrs_base_tax * 100.0);
+  }
+  for (usize i = 0; i < kNumSpm; ++i) {
+    std::fprintf(out,
+      "Ablation/spm  %3u B/cycle  SeMPE %5.2fx (fibonacci, W=4)\n",
+                kSpmRates[i], points[spm_begin + i].sempe_slowdown());
+  }
+  for (usize i = 0; i < 2; ++i) {
+    std::fprintf(out,
+        "Ablation/prefetch  %s  SeMPE/ideal(standalone) = %.3f (ones, W=6)\n",
+        i == 0 ? "on " : "off",
+        points[prefetch_begin + i].sempe_vs_ideal_standalone());
+  }
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::microbench_json("ablation", jobs, points)))
+    return 1;
+  return 0;
+}

@@ -5,42 +5,49 @@
 // Paper shape: SeMPE ~ W+1 (8.4-10.6x at W=10); CTE from 3-32x at W=1 up to
 // 12.9-187.3x at W=10; CTE/SeMPE ratio up to ~18x.
 //
-// SEMPE_BENCH_ITERS sets the iteration count per run (default 20).
-#include <benchmark/benchmark.h>
-
+// SEMPE_BENCH_ITERS sets the iteration count per run (default 20). The 40
+// (kind, W) points run concurrently through sim/batch_runner.h; output
+// order is fixed regardless of --threads.
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Figure 10a: slowdown vs nesting depth",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
 
-using sempe::sim::env_usize;
-using sempe::sim::measure_microbench;
-using sempe::sim::MicrobenchOptions;
-using sempe::workloads::Kind;
-using sempe::workloads::kind_name;
+  sim::MicrobenchOptions opt;
+  opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
+  const auto jobs = sim::microbench_grid(
+      sim::all_kinds(), {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opt);
 
-void BM_Fig10a(benchmark::State& state) {
-  const auto kind = static_cast<Kind>(state.range(0));
-  const auto w = static_cast<sempe::usize>(state.range(1));
-  MicrobenchOptions opt;
-  opt.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
-  sempe::sim::MicrobenchPoint pt;
-  for (auto _ : state) pt = measure_microbench(kind, w, opt);
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
-  state.counters["sempe_x"] = pt.sempe_slowdown();
-  state.counters["cte_x"] = pt.cte_slowdown();
-  state.SetLabel(std::string(kind_name(kind)) + "/W=" + std::to_string(w));
-  std::printf("Fig10a  %-10s W=%2zu  SeMPE %6.2fx   CTE %7.2fx   (CTE/SeMPE %5.2fx)\n",
-              kind_name(kind), w, pt.sempe_slowdown(), pt.cte_slowdown(),
-              pt.cte_vs_sempe());
+  for (usize i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(out,
+        "Fig10a  %-10s W=%2zu  SeMPE %6.2fx   CTE %7.2fx   (CTE/SeMPE "
+        "%5.2fx)\n",
+        workloads::kind_name(pt.kind), pt.width, pt.sempe_slowdown(),
+        pt.cte_slowdown(), pt.cte_vs_sempe());
+  }
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::microbench_json("fig10a", jobs, points)))
+    return 1;
+  return 0;
 }
-
-BENCHMARK(BM_Fig10a)
-    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}})
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -9,56 +9,59 @@
 //     locality already included); SeMPE pays only drains/SPM on top
 //     (values slightly > 1).
 // CTE, by contrast, is far above ideal and grows with W.
-#include <benchmark/benchmark.h>
-
+//
+// All 40 (kind, W) points run concurrently through sim/batch_runner.h and
+// are then averaged per W over the four kinds.
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Figure 10b: slowdown normalized to the ideal",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
 
-using sempe::sim::env_usize;
-using sempe::sim::measure_microbench;
-using sempe::sim::MicrobenchOptions;
-using sempe::workloads::Kind;
+  sim::MicrobenchOptions opt;
+  opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
+  const std::vector<usize> widths = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto jobs = sim::microbench_grid(sim::all_kinds(), widths, opt);
 
-void BM_Fig10b(benchmark::State& state) {
-  const auto w = static_cast<sempe::usize>(state.range(0));
-  MicrobenchOptions opt;
-  opt.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
-  double sempe_vs_standalone = 0, sempe_vs_combined = 0, cte_vs_standalone = 0;
-  int n = 0;
-  for (auto _ : state) {
-    for (Kind kd : {Kind::kFibonacci, Kind::kOnes, Kind::kQuicksort,
-                    Kind::kQueens}) {
-      const auto pt = measure_microbench(kd, w, opt);
-      sempe_vs_standalone += pt.sempe_vs_ideal_standalone();
-      sempe_vs_combined += pt.sempe_vs_ideal_combined();
-      cte_vs_standalone +=
-          sempe::sim::MicrobenchPoint::ratio(pt.cte_cycles,
-                                             pt.ideal_standalone_cycles);
-      ++n;
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const usize num_kinds = sim::all_kinds().size();
+  for (usize wi = 0; wi < widths.size(); ++wi) {
+    double vs_standalone = 0, vs_combined = 0, cte_vs_standalone = 0;
+    for (usize k = 0; k < num_kinds; ++k) {
+      // microbench_grid is kind-major: jobs[k * widths.size() + wi].
+      const auto& pt = points[k * widths.size() + wi];
+      vs_standalone += pt.sempe_vs_ideal_standalone();
+      vs_combined += pt.sempe_vs_ideal_combined();
+      cte_vs_standalone += sim::MicrobenchPoint::ratio(
+          pt.cte_cycles, pt.ideal_standalone_cycles);
     }
+    const double n = static_cast<double>(num_kinds);
+    std::fprintf(out,
+        "Fig10b  W=%2zu  SeMPE/ideal(standalone) %5.2f   "
+        "SeMPE/ideal(combined) %5.2f   CTE/ideal %6.2f\n",
+        widths[wi], vs_standalone / n, vs_combined / n,
+        cte_vs_standalone / n);
   }
-  if (n > 0) {
-    sempe_vs_standalone /= n;
-    sempe_vs_combined /= n;
-    cte_vs_standalone /= n;
-  }
-  state.counters["sempe_vs_ideal_standalone"] = sempe_vs_standalone;
-  state.counters["sempe_vs_ideal_combined"] = sempe_vs_combined;
-  state.counters["cte_vs_ideal"] = cte_vs_standalone;
-  std::printf(
-      "Fig10b  W=%2zu  SeMPE/ideal(standalone) %5.2f   SeMPE/ideal(combined) "
-      "%5.2f   CTE/ideal %6.2f\n",
-      w, sempe_vs_standalone, sempe_vs_combined, cte_vs_standalone);
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::microbench_json("fig10b", jobs, points)))
+    return 1;
+  return 0;
 }
-
-BENCHMARK(BM_Fig10b)
-    ->DenseRange(1, 10, 1)
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

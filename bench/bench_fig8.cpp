@@ -5,44 +5,47 @@
 // flat across image sizes (256k..2048k pixels).
 //
 // SEMPE_DJPEG_SCALE divides the pixel counts for simulation time
-// (default 8; set 1 for paper-sized images).
-#include <benchmark/benchmark.h>
-
+// (default 8; set 1 for paper-sized images). The 12 (format, size) cells
+// run concurrently through sim/batch_runner.h.
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sempe;
+  using workloads::OutputFormat;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Figure 8: djpeg overhead by format/size",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
 
-using sempe::sim::env_usize;
-using sempe::sim::measure_djpeg;
-using sempe::workloads::format_name;
-using sempe::workloads::OutputFormat;
+  const usize scale = sim::env_usize("SEMPE_DJPEG_SCALE", 8);
+  const auto jobs = sim::djpeg_grid(
+      {OutputFormat::kPpm, OutputFormat::kGif, OutputFormat::kBmp},
+      sim::djpeg_sizes(), scale);
 
-constexpr sempe::usize kSizes[] = {256 * 1024, 512 * 1024, 1024 * 1024,
-                                   2048 * 1024};
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_djpeg_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
-void BM_Fig8(benchmark::State& state) {
-  const auto fmt = static_cast<OutputFormat>(state.range(0));
-  const sempe::usize pixels = kSizes[state.range(1)];
-  const sempe::usize scale = env_usize("SEMPE_DJPEG_SCALE", 8);
-  double overhead = 0;
-  for (auto _ : state) {
-    const auto pt = measure_djpeg(fmt, pixels, scale);
-    overhead = pt.overhead();
+  for (const auto& pt : points) {
+    std::fprintf(out,
+      "Fig8  %-4s %5zuk  overhead = %5.1f%%\n",
+                workloads::format_name(pt.format), pt.pixels / 1024,
+                pt.overhead() * 100.0);
   }
-  state.counters["overhead_pct"] = overhead * 100.0;
-  state.SetLabel(std::string(format_name(fmt)) + "/" +
-                 std::to_string(pixels / 1024) + "k");
-  std::printf("Fig8  %-4s %5zuk  overhead = %5.1f%%\n", format_name(fmt),
-              pixels / 1024, overhead * 100.0);
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::djpeg_json("fig8", jobs, points)))
+    return 1;
+  return 0;
 }
-
-BENCHMARK(BM_Fig8)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

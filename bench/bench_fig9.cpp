@@ -4,51 +4,50 @@
 //
 // Paper shape: IL1 low and size-independent; DL1 low with SeMPE close to
 // baseline (ShadowMemory locality); L2 higher than DL1 overall.
-#include <benchmark/benchmark.h>
-
+//
+// The 12 (format, size) cells run concurrently through sim/batch_runner.h.
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sempe;
+  using workloads::OutputFormat;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Figure 9: djpeg cache miss rates",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
 
-using sempe::sim::env_usize;
-using sempe::sim::measure_djpeg;
-using sempe::workloads::format_name;
-using sempe::workloads::OutputFormat;
+  const usize scale = sim::env_usize("SEMPE_DJPEG_SCALE", 8);
+  const auto jobs = sim::djpeg_grid(
+      {OutputFormat::kPpm, OutputFormat::kGif, OutputFormat::kBmp},
+      sim::djpeg_sizes(), scale);
 
-constexpr sempe::usize kSizes[] = {256 * 1024, 512 * 1024, 1024 * 1024,
-                                   2048 * 1024};
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_djpeg_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
-void BM_Fig9(benchmark::State& state) {
-  const auto fmt = static_cast<OutputFormat>(state.range(0));
-  const sempe::usize pixels = kSizes[state.range(1)];
-  const sempe::usize scale = env_usize("SEMPE_DJPEG_SCALE", 8);
-  sempe::sim::DjpegPoint pt;
-  for (auto _ : state) pt = measure_djpeg(fmt, pixels, scale);
+  for (const auto& pt : points) {
+    std::fprintf(out,
+        "Fig9  %-4s %5zuk  IL1 %5.2f%%|%5.2f%%  DL1 %5.2f%%|%5.2f%%  "
+        "L2 %5.2f%%|%5.2f%%   (baseline|SeMPE)\n",
+        workloads::format_name(pt.format), pt.pixels / 1024,
+        pt.baseline.il1_miss_rate() * 100, pt.sempe.il1_miss_rate() * 100,
+        pt.baseline.dl1_miss_rate() * 100, pt.sempe.dl1_miss_rate() * 100,
+        pt.baseline.l2_miss_rate() * 100, pt.sempe.l2_miss_rate() * 100);
+  }
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
 
-  state.counters["il1_base"] = pt.baseline.il1_miss_rate() * 100;
-  state.counters["il1_sempe"] = pt.sempe.il1_miss_rate() * 100;
-  state.counters["dl1_base"] = pt.baseline.dl1_miss_rate() * 100;
-  state.counters["dl1_sempe"] = pt.sempe.dl1_miss_rate() * 100;
-  state.counters["l2_base"] = pt.baseline.l2_miss_rate() * 100;
-  state.counters["l2_sempe"] = pt.sempe.l2_miss_rate() * 100;
-  state.SetLabel(std::string(format_name(fmt)) + "/" +
-                 std::to_string(pixels / 1024) + "k");
-  std::printf(
-      "Fig9  %-4s %5zuk  IL1 %5.2f%%|%5.2f%%  DL1 %5.2f%%|%5.2f%%  "
-      "L2 %5.2f%%|%5.2f%%   (baseline|SeMPE)\n",
-      format_name(fmt), pixels / 1024, pt.baseline.il1_miss_rate() * 100,
-      pt.sempe.il1_miss_rate() * 100, pt.baseline.dl1_miss_rate() * 100,
-      pt.sempe.dl1_miss_rate() * 100, pt.baseline.l2_miss_rate() * 100,
-      pt.sempe.l2_miss_rate() * 100);
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::djpeg_json("fig9", jobs, points)))
+    return 1;
+  return 0;
 }
-
-BENCHMARK(BM_Fig9)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3}})
-    ->Unit(benchmark::kSecond)
-    ->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

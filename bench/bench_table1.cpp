@@ -4,60 +4,74 @@
 // their reported worst-case overheads; we do not re-implement those
 // systems). The CTE and SeMPE rows are *measured* on this simulator at the
 // paper's deepest nesting configuration (W = 10), mirroring how Table I
-// cites the microbenchmark worst case.
-#include <benchmark/benchmark.h>
-
+// cites the microbenchmark worst case. The four kind points are
+// independent, so they run concurrently through sim/batch_runner.h.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Table I: approaches to eliminate SDBCB",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
 
-using sempe::sim::env_usize;
-using sempe::sim::measure_microbench;
-using sempe::sim::MicrobenchOptions;
-using sempe::workloads::Kind;
+  sim::MicrobenchOptions opt;
+  opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
+  const auto jobs = sim::microbench_grid(sim::all_kinds(), {10}, opt);
 
-void BM_Table1(benchmark::State& state) {
-  MicrobenchOptions opt;
-  opt.iterations = env_usize("SEMPE_BENCH_ITERS", 20);
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
   double worst_cte = 0, worst_sempe = 0;
-  for (auto _ : state) {
-    for (Kind kd : {Kind::kFibonacci, Kind::kOnes, Kind::kQuicksort,
-                    Kind::kQueens}) {
-      const auto pt = measure_microbench(kd, 10, opt);
-      worst_cte = std::max(worst_cte, pt.cte_slowdown());
-      worst_sempe = std::max(worst_sempe, pt.sempe_slowdown());
-    }
+  for (const auto& pt : points) {
+    worst_cte = std::max(worst_cte, pt.cte_slowdown());
+    worst_sempe = std::max(worst_sempe, pt.sempe_slowdown());
   }
-  state.counters["cte_worst_x"] = worst_cte;
-  state.counters["sempe_worst_x"] = worst_sempe;
 
-  std::printf(
+  std::fprintf(out,
       "\nTable I: Comparing approaches to eliminate SDBCB\n"
       "%-22s %-12s %-12s %-12s %-12s\n", "Aspect", "CTE", "GhostRider",
       "Raccoon", "SeMPE");
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "Approach", "elim.branch",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n", "Approach", "elim.branch",
               "equal.path", "both paths", "both paths");
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "Technique", "SW", "HW/SW",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n", "Technique", "SW", "HW/SW",
               "SW", "HW/SW");
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "Prog. complexity", "High",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n", "Prog. complexity", "High",
               "Low", "Low", "Low");
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "Reported overheads",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n", "Reported overheads",
               "187.3x", "1987x", "452x", "10.6x");
   char cte_s[32], sempe_s[32];
   std::snprintf(cte_s, sizeof cte_s, "%.1fx", worst_cte);
   std::snprintf(sempe_s, sizeof sempe_s, "%.1fx", worst_sempe);
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "Measured here (W=10)",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n", "Measured here (W=10)",
               cte_s, "-", "-", sempe_s);
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n", "Simple architecture", "Yes",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n", "Simple architecture", "Yes",
               "No", "Yes", "Yes");
-  std::printf("%-22s %-12s %-12s %-12s %-12s\n\n", "Backward compatible",
+  std::fprintf(out,
+      "%-22s %-12s %-12s %-12s %-12s\n\n", "Backward compatible",
               "Yes", "No", "No", "Yes");
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::microbench_json("table1", jobs, points)))
+    return 1;
+  return 0;
 }
-
-BENCHMARK(BM_Table1)->Unit(benchmark::kSecond)->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

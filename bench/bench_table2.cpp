@@ -2,42 +2,59 @@
 //
 // Echoes the configured machine the way the paper reports it, and runs a
 // self-check workload so the table is backed by a live simulation (IPC and
-// cache behavior within sane bounds for the configuration).
-#include <benchmark/benchmark.h>
-
+// cache behavior within sane bounds for the configuration). The self-check
+// point dispatches through sim/batch_runner.h like every other bench.
+#include <chrono>
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "sim/batch_runner.h"
 #include "sim/machine_config.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "Table II: baseline machine model",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
 
-using namespace sempe;
-
-void BM_Table2(benchmark::State& state) {
   const auto cfg = sim::table2_machine();
-  double ipc = 0.0;
-  for (auto _ : state) {
-    // Self-check: run one microbenchmark on the configured machine.
-    workloads::MicrobenchConfig mb;
-    mb.kind = workloads::Kind::kOnes;
-    mb.width = 2;
-    mb.iterations = 20;
-    const auto built = build_microbench(mb);
-    sim::RunConfig rc;
-    rc.pipe = cfg;
-    rc.record_observations = false;
-    const auto r = sim::run(built.program, rc);
-    ipc = static_cast<double>(r.instructions) /
-          static_cast<double>(r.stats.cycles);
+
+  sim::MicrobenchOptions opt;
+  opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
+  std::vector<sim::MicrobenchJob> jobs;
+  {
+    sim::MicrobenchJob j;
+    j.label = "selfcheck/ones/W=2";
+    j.kind = workloads::Kind::kOnes;
+    j.width = 2;
+    j.opt = opt;
+    jobs.push_back(std::move(j));
   }
-  state.counters["selfcheck_ipc"] = ipc;
-  std::printf("\n%s\nself-check IPC on ones/W=2: %.2f\n\n",
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto& pt = points[0];
+  const double ipc =
+      pt.baseline_cycles == 0
+          ? 0.0
+          : static_cast<double>(pt.baseline_instructions) /
+                static_cast<double>(pt.baseline_cycles);
+  std::fprintf(out,
+      "\n%s\nself-check IPC on ones/W=2: %.2f\n\n",
               sim::describe(cfg).c_str(), ipc);
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::microbench_json("table2", jobs, points)))
+    return 1;
+  return 0;
 }
-
-BENCHMARK(BM_Table2)->Unit(benchmark::kMillisecond)->Iterations(1);
-
-}  // namespace
-
-BENCHMARK_MAIN();

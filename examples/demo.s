@@ -1,0 +1,54 @@
+# demo.s — ready-made input for sempe_run (see isa/assembler.h for the
+# grammar). A secret-dependent branch guards two different updates of x4;
+# the sJMP prefix tells a SeMPE core to execute BOTH paths and keep only
+# the correct architectural result, so legacy and SeMPE mode print the
+# same registers while the SeMPE timing no longer depends on the secret.
+#
+# Try:
+#   sempe_run examples/demo.s                  # SeMPE core (default)
+#   sempe_run examples/demo.s --mode=legacy    # unprotected baseline
+#   sempe_run examples/demo.s --timeline       # pipeline schedule dump
+#   sempe_run examples/demo.s --trace          # observable-channel summary
+
+  .data secret
+  .word 1                     # flip to 0: results stay the same shape,
+                              # only the selected path changes
+  .data table
+  .word 3 1 4 1 5 9 2 6
+  .data out
+  .word 0 0
+
+  .text
+  la x1, secret
+  ld x2, x1, 0                # x2 = the secret bit
+
+  # --- secure region: both paths run on a SeMPE core -----------------
+  li x4, 0
+  sjmp.bne x2, x0, taken
+  addi x4, x4, 7              # not-taken path
+  jmp join
+taken:
+  addi x4, x4, 42             # taken path
+join:
+  eosjmp                      # join marker (a NOP to legacy cores)
+  # -------------------------------------------------------------------
+
+  # Non-secret work after the join: sum the 8 table entries into x5.
+  la x1, table
+  li x5, 0
+  li x6, 0                    # loop index
+loop:
+  slli x7, x6, 3              # byte offset = index * 8
+  add x8, x1, x7
+  ld x9, x8, 0
+  add x5, x5, x9
+  addi x6, x6, 1
+  slti x10, x6, 8
+  bne x10, x0, loop
+
+  add x20, x4, x5             # x20 = selected path value + table sum
+
+  la x3, out
+  st x4, x3, 0
+  st x20, x3, 8
+  halt

@@ -26,8 +26,10 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s FILE.s [--mode=sempe|legacy] [--timeline] "
-                 "[--no-verify] [--trace]\n",
-                 argv[0]);
+                 "[--no-verify] [--trace]\n"
+                 "a ready-made input lives at examples/demo.s, e.g.:\n"
+                 "  %s examples/demo.s --timeline\n",
+                 argv[0], argv[0]);
     return 1;
   }
   const char* path = argv[1];

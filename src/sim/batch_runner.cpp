@@ -1,0 +1,307 @@
+#include "sim/batch_runner.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace sempe::sim {
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_f(std::string& out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (needed > 0) {
+    const usize old = out.size();
+    out.resize(old + static_cast<usize>(needed) + 1);
+    std::vsnprintf(out.data() + old, static_cast<usize>(needed) + 1, fmt, ap2);
+    out.resize(old + static_cast<usize>(needed));  // drop the NUL
+  }
+  va_end(ap2);
+}
+
+// Labels are generated from enum names and numbers, but escape defensively
+// so hand-built job labels cannot produce invalid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_f(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_kv_u64(std::string& out, const char* key, u64 v,
+                   bool last = false) {
+  append_f(out, "      \"%s\": %" PRIu64 "%s\n", key, v, last ? "" : ",");
+}
+
+void append_kv_f(std::string& out, const char* key, double v,
+                 bool last = false) {
+  append_f(out, "      \"%s\": %.6f%s\n", key, v, last ? "" : ",");
+}
+
+void append_kv_s(std::string& out, const char* key, const std::string& v,
+                 bool last = false) {
+  append_f(out, "      \"%s\": \"%s\"%s\n", key, json_escape(v).c_str(),
+           last ? "" : ",");
+}
+
+std::string json_header(const std::string& experiment) {
+  std::string out = "{\n";
+  append_f(out, "  \"experiment\": \"%s\",\n", json_escape(experiment).c_str());
+  out += "  \"points\": [\n";
+  return out;
+}
+
+void json_footer(std::string& out) { out += "  ]\n}\n"; }
+
+}  // namespace
+
+usize resolve_threads(usize requested, usize jobs) {
+  usize n = requested;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : hw;
+  }
+  if (jobs > 0 && n > jobs) n = jobs;
+  return n == 0 ? 1 : n;
+}
+
+std::vector<MicrobenchPoint> run_microbench_jobs(
+    const std::vector<MicrobenchJob>& jobs, usize threads) {
+  return run_indexed(jobs.size(), threads, [&](usize i) {
+    const MicrobenchJob& j = jobs[i];
+    return measure_microbench(j.kind, j.width, j.opt);
+  });
+}
+
+std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
+                                       usize threads) {
+  return run_indexed(jobs.size(), threads, [&](usize i) {
+    const DjpegJob& j = jobs[i];
+    return measure_djpeg(j.format, j.pixels, j.scale, j.image_seed);
+  });
+}
+
+std::vector<MicrobenchJob> microbench_grid(
+    const std::vector<workloads::Kind>& kinds, const std::vector<usize>& widths,
+    const MicrobenchOptions& opt) {
+  std::vector<MicrobenchJob> jobs;
+  jobs.reserve(kinds.size() * widths.size());
+  for (const workloads::Kind kind : kinds) {
+    for (const usize w : widths) {
+      MicrobenchJob j;
+      j.label = std::string(workloads::kind_name(kind)) + "/W=" +
+                std::to_string(w);
+      j.kind = kind;
+      j.width = w;
+      j.opt = opt;
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+std::vector<DjpegJob> djpeg_grid(
+    const std::vector<workloads::OutputFormat>& formats,
+    const std::vector<usize>& pixel_sizes, usize scale) {
+  std::vector<DjpegJob> jobs;
+  jobs.reserve(formats.size() * pixel_sizes.size());
+  for (const workloads::OutputFormat fmt : formats) {
+    for (const usize px : pixel_sizes) {
+      DjpegJob j;
+      j.label = std::string(workloads::format_name(fmt)) + "/" +
+                std::to_string(px / 1024) + "k";
+      j.format = fmt;
+      j.pixels = px;
+      j.scale = scale;
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+const std::vector<workloads::Kind>& all_kinds() {
+  static const std::vector<workloads::Kind> kinds = {
+      workloads::Kind::kFibonacci, workloads::Kind::kOnes,
+      workloads::Kind::kQuicksort, workloads::Kind::kQueens};
+  return kinds;
+}
+
+const std::vector<usize>& djpeg_sizes() {
+  static const std::vector<usize> sizes = {256 * 1024, 512 * 1024, 1024 * 1024,
+                                           2048 * 1024};
+  return sizes;
+}
+
+std::string microbench_json(const std::string& experiment,
+                            const std::vector<MicrobenchJob>& jobs,
+                            const std::vector<MicrobenchPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  std::string out = json_header(experiment);
+  for (usize i = 0; i < points.size(); ++i) {
+    const MicrobenchPoint& p = points[i];
+    out += "    {\n";
+    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "kind", workloads::kind_name(p.kind));
+    append_kv_u64(out, "width", p.width);
+    append_kv_u64(out, "baseline_cycles", p.baseline_cycles);
+    append_kv_u64(out, "sempe_cycles", p.sempe_cycles);
+    append_kv_u64(out, "cte_cycles", p.cte_cycles);
+    append_kv_u64(out, "ideal_combined_cycles", p.ideal_combined_cycles);
+    append_kv_u64(out, "ideal_standalone_cycles", p.ideal_standalone_cycles);
+    append_kv_u64(out, "baseline_instructions", p.baseline_instructions);
+    append_kv_u64(out, "sempe_instructions", p.sempe_instructions);
+    append_kv_u64(out, "cte_instructions", p.cte_instructions);
+    append_kv_f(out, "sempe_slowdown", p.sempe_slowdown());
+    append_kv_f(out, "cte_slowdown", p.cte_slowdown());
+    append_kv_f(out, "sempe_vs_ideal_combined", p.sempe_vs_ideal_combined());
+    append_kv_f(out, "sempe_vs_ideal_standalone", p.sempe_vs_ideal_standalone(),
+                /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+std::string djpeg_json(const std::string& experiment,
+                       const std::vector<DjpegJob>& jobs,
+                       const std::vector<DjpegPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  std::string out = json_header(experiment);
+  for (usize i = 0; i < points.size(); ++i) {
+    const DjpegPoint& p = points[i];
+    out += "    {\n";
+    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "format", workloads::format_name(p.format));
+    append_kv_u64(out, "pixels", p.pixels);
+    append_kv_u64(out, "baseline_cycles", p.baseline.cycles);
+    append_kv_u64(out, "sempe_cycles", p.sempe.cycles);
+    append_kv_u64(out, "baseline_instructions", p.baseline.instructions);
+    append_kv_u64(out, "sempe_instructions", p.sempe.instructions);
+    append_kv_f(out, "overhead", p.overhead());
+    append_kv_f(out, "il1_miss_baseline", p.baseline.il1_miss_rate());
+    append_kv_f(out, "il1_miss_sempe", p.sempe.il1_miss_rate());
+    append_kv_f(out, "dl1_miss_baseline", p.baseline.dl1_miss_rate());
+    append_kv_f(out, "dl1_miss_sempe", p.sempe.dl1_miss_rate());
+    append_kv_f(out, "l2_miss_baseline", p.baseline.l2_miss_rate());
+    append_kv_f(out, "l2_miss_sempe", p.sempe.l2_miss_rate(), /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+BatchCli parse_batch_cli(int& argc, char** argv) {
+  BatchCli cli;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strncmp(a, "--threads=", 10)) {
+      char* end = nullptr;
+      const long long n = std::strtoll(a + 10, &end, 10);
+      if (n < 0 || end == a + 10 || *end != '\0') {
+        cli.ok = false;
+        cli.error = a;
+      } else {
+        cli.threads = static_cast<usize>(n);
+      }
+    } else if (!std::strcmp(a, "--json")) {
+      cli.want_json = true;
+    } else if (!std::strncmp(a, "--json=", 7)) {
+      cli.want_json = true;
+      cli.json_path = a + 7;
+    } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+      cli.help = true;
+    } else {
+      argv[kept++] = argv[i];
+      continue;
+    }
+  }
+  // Anything not recognized stays in argv; the caller decides whether
+  // leftovers are an error.
+  for (int i = kept; i < argc; ++i) argv[i] = nullptr;
+  argc = kept;
+  return cli;
+}
+
+bool batch_cli_should_exit(const BatchCli& cli, int argc, char** argv,
+                           const char* what, int* exit_code) {
+  if (cli.ok && !cli.help && argc <= 1) return false;
+  if (!cli.ok)
+    std::fprintf(stderr, "bad argument: %s\n", cli.error.c_str());
+  else if (argc > 1)
+    std::fprintf(stderr, "unknown argument: %s\n", argv[1]);
+  print_batch_usage(argv[0], what);
+  *exit_code = (!cli.ok || argc > 1) ? 1 : 0;
+  return true;
+}
+
+std::FILE* report_stream(const BatchCli& cli) {
+  return cli.want_json && cli.json_path.empty() ? stderr : stdout;
+}
+
+bool emit_json(const BatchCli& cli, const std::string& json) {
+  if (cli.json_path.empty()) {
+    const usize written = std::fwrite(json.data(), 1, json.size(), stdout);
+    if (written != json.size() || std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "short write to stdout\n");
+      return false;
+    }
+    return true;
+  }
+  std::FILE* f = std::fopen(cli.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write '%s'\n", cli.json_path.c_str());
+    return false;
+  }
+  const usize written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size()) {
+    std::fprintf(stderr, "short write to '%s'\n", cli.json_path.c_str());
+    return false;
+  }
+  if (!closed) {
+    std::fprintf(stderr, "cannot flush '%s'\n", cli.json_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void print_batch_usage(const char* argv0, const char* what) {
+  std::fprintf(stderr,
+               "%s — %s\n"
+               "usage: %s [--threads=N] [--json[=FILE]]\n"
+               "  --threads=N  worker threads for the experiment sweep\n"
+               "               (default: all hardware threads)\n"
+               "  --json[=F]   emit deterministic machine-readable results\n"
+               "               to FILE (default: stdout)\n"
+               "env: SEMPE_BENCH_ITERS, SEMPE_DJPEG_SCALE scale the "
+               "workloads\n",
+               argv0, what, argv0);
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,164 @@
+// Parallel experiment driver ("batch runner") for the evaluation pipeline.
+//
+// Every figure/table of the paper is a sweep over independent experiment
+// points: each point builds its own Program and Simulator from its config
+// and is deterministic given that config (util/rng.h), so points can run
+// concurrently with nothing shared. The runner shards a job list over a
+// thread pool and writes each result into a pre-sized vector slot by
+// index, which makes the output ordering — and any JSON serialization of
+// it — byte-identical regardless of thread count.
+//
+// The bench_* binaries all dispatch their sweeps through this driver and
+// share the same CLI surface:
+//
+//   --threads=N   worker threads (default: all hardware threads)
+//   --json[=F]    emit machine-readable results to file F (or stdout)
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace sempe::sim {
+
+/// Resolve a requested worker count: 0 means "all hardware threads"; the
+/// result is clamped to [1, jobs] for jobs > 0.
+usize resolve_threads(usize requested, usize jobs);
+
+/// Run fn(i) for every i in [0, n) on up to `threads` workers and return
+/// the results in index order. Job exceptions are captured and the
+/// lowest-index one is rethrown after all workers join.
+template <typename Fn>
+auto run_indexed(usize n, usize threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, usize>> {
+  using R = std::invoke_result_t<Fn&, usize>;
+  std::vector<R> results(n);
+  if (n == 0) return results;
+  threads = resolve_threads(threads, n);
+  if (threads <= 1) {
+    for (usize i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::atomic<usize> next{0};
+  std::mutex errors_mu;
+  std::vector<std::pair<usize, std::exception_ptr>> errors;
+  auto worker = [&] {
+    for (;;) {
+      const usize i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errors_mu);
+        errors.emplace_back(i, std::current_exception());
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (usize t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (!errors.empty()) {
+    const auto first = std::min_element(
+        errors.begin(), errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment job specs.
+
+struct MicrobenchJob {
+  std::string label;  // e.g. "fibonacci/W=10" or "ablation/spm/64B"
+  workloads::Kind kind{};
+  usize width = 0;
+  MicrobenchOptions opt{};
+};
+
+struct DjpegJob {
+  std::string label;  // e.g. "ppm/256k"
+  workloads::OutputFormat format{};
+  usize pixels = 0;
+  usize scale = 8;
+  u64 image_seed = 1;
+};
+
+/// Run every job through measure_microbench / measure_djpeg on `threads`
+/// workers; results come back in job order.
+std::vector<MicrobenchPoint> run_microbench_jobs(
+    const std::vector<MicrobenchJob>& jobs, usize threads);
+std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
+                                       usize threads);
+
+/// Cartesian sweep (kind-major, so a figure's series stay contiguous).
+std::vector<MicrobenchJob> microbench_grid(
+    const std::vector<workloads::Kind>& kinds, const std::vector<usize>& widths,
+    const MicrobenchOptions& opt);
+std::vector<DjpegJob> djpeg_grid(
+    const std::vector<workloads::OutputFormat>& formats,
+    const std::vector<usize>& pixel_sizes, usize scale);
+
+/// The four Fig. 7 microbenchmark kinds.
+const std::vector<workloads::Kind>& all_kinds();
+/// The four djpeg image sizes (pixels) of Figs. 8 and 9.
+const std::vector<usize>& djpeg_sizes();
+
+// ---------------------------------------------------------------------------
+// Machine-readable results. The JSON contains only deterministic simulation
+// outputs (no wall-clock times, no thread counts), so a sweep serializes to
+// byte-identical text for any --threads value.
+
+std::string microbench_json(const std::string& experiment,
+                            const std::vector<MicrobenchJob>& jobs,
+                            const std::vector<MicrobenchPoint>& points);
+std::string djpeg_json(const std::string& experiment,
+                       const std::vector<DjpegJob>& jobs,
+                       const std::vector<DjpegPoint>& points);
+
+// ---------------------------------------------------------------------------
+// Shared bench CLI.
+
+struct BatchCli {
+  usize threads = 0;      // 0 = all hardware threads
+  bool want_json = false;
+  std::string json_path;  // empty with want_json set = stdout
+  bool help = false;
+  bool ok = true;         // false: unrecognized argument
+  std::string error;      // the offending argument
+};
+
+/// Strip the flags this driver owns (--threads=N, --json[=F], --help) out
+/// of argv, compacting argc. Anything left besides argv[0] is the caller's
+/// problem (the bench mains treat leftovers as a usage error).
+BatchCli parse_batch_cli(int& argc, char** argv);
+
+/// Handle --help and argument errors for a bench main: prints the
+/// diagnostic/usage and returns true with *exit_code set when main should
+/// return immediately.
+bool batch_cli_should_exit(const BatchCli& cli, int argc, char** argv,
+                           const char* what, int* exit_code);
+
+/// Stream for the human-readable report: stderr when the JSON goes to
+/// stdout (bare --json), so `bench --json | jq .` stays parseable; stdout
+/// otherwise.
+std::FILE* report_stream(const BatchCli& cli);
+
+/// Write `json` to cli.json_path (stdout when empty). Returns false and
+/// prints a diagnostic on I/O failure.
+bool emit_json(const BatchCli& cli, const std::string& json);
+
+/// Print the shared usage text for a bench binary.
+void print_batch_usage(const char* argv0, const char* what);
+
+}  // namespace sempe::sim

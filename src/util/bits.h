@@ -11,8 +11,10 @@ namespace sempe {
 /// True if x is a power of two (and nonzero).
 constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
 
-/// floor(log2(x)); x must be nonzero.
+/// floor(log2(x)); x must be nonzero (countl_zero(0) == 64 would wrap the
+/// subtraction to a huge shift amount downstream).
 constexpr u32 log2_floor(u64 x) {
+  SEMPE_CHECK(x != 0);
   return 63u - static_cast<u32>(std::countl_zero(x));
 }
 

@@ -5,6 +5,7 @@
 // is small, fast, and good enough for workload data.
 #pragma once
 
+#include "util/check.h"
 #include "util/types.h"
 
 namespace sempe {
@@ -26,9 +27,14 @@ class Rng {
   /// Uniform in [0, bound). bound must be > 0.
   u64 next_below(u64 bound) { return next_u64() % bound; }
 
-  /// Uniform in [lo, hi] inclusive.
+  /// Uniform in [lo, hi] inclusive. The span is computed in u64 so ranges
+  /// wider than i64 (e.g. the full [INT64_MIN, INT64_MAX]) neither overflow
+  /// `hi - lo + 1` nor feed next_below() a wrapped bound of 0.
   i64 next_in(i64 lo, i64 hi) {
-    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo + 1)));
+    SEMPE_CHECK(lo <= hi);
+    const u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+    if (span == 0) return static_cast<i64>(next_u64());  // full 2^64 range
+    return static_cast<i64>(static_cast<u64>(lo) + next_below(span));
   }
 
   bool next_bool() { return (next_u64() & 1) != 0; }

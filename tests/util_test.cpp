@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/bits.h"
 #include "util/check.h"
 #include "util/fixed_lifo.h"
@@ -24,6 +26,12 @@ TEST(Bits, Log2Floor) {
   EXPECT_EQ(log2_floor(3), 1u);
   EXPECT_EQ(log2_floor(1024), 10u);
   EXPECT_EQ(log2_floor(~0ull), 63u);
+}
+
+TEST(Bits, Log2FloorZeroIsRejected) {
+  // Regression: log2_floor(0) used to evaluate 63u - 64, wrapping to a
+  // nonsense bit index instead of failing.
+  EXPECT_THROW(log2_floor(0), SimError);
 }
 
 TEST(Bits, LowMask) {
@@ -77,6 +85,36 @@ TEST(Rng, BoundsRespected) {
 TEST(Rng, ZeroSeedDoesNotStick) {
   Rng r(0);
   EXPECT_NE(r.next_u64(), 0u);
+}
+
+TEST(Rng, NextInWideRangesDoNotOverflow) {
+  // Regression: `hi - lo + 1` overflowed i64 for spans wider than 2^63 and
+  // wrapped to 0 for the full range, feeding next_below() a zero bound.
+  constexpr i64 kMin = std::numeric_limits<i64>::min();
+  constexpr i64 kMax = std::numeric_limits<i64>::max();
+  Rng r(11);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const i64 full = r.next_in(kMin, kMax);
+    saw_negative = saw_negative || full < 0;
+    saw_positive = saw_positive || full > 0;
+    const i64 half = r.next_in(kMin, 0);
+    EXPECT_LE(half, 0);
+    const i64 wide = r.next_in(kMin + 1, kMax - 1);
+    EXPECT_GE(wide, kMin + 1);
+    EXPECT_LE(wide, kMax - 1);
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // Still deterministic for a given seed.
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next_in(kMin, kMax), b.next_in(kMin, kMax));
+}
+
+TEST(Rng, NextInEmptyRangeIsRejected) {
+  Rng r(1);
+  EXPECT_THROW(r.next_in(5, 4), SimError);
 }
 
 TEST(FixedLifo, PushPopOrder) {
