@@ -1,0 +1,68 @@
+// Synthetic kernel sweep — every kernel of the synthetic family
+// (workloads/synthetic.h) resolved through the workload registry and
+// timed across the full mode matrix (legacy baseline, SeMPE, CTE) at
+// nesting widths 1 and 4, with the secrets all false (the paper's Fig. 10
+// convention: the baseline skips every guarded level, so the SeMPE
+// slowdown ~ W+1) and all true (every mode executes every level). Each
+// point also functionally cross-checks the merged results of every mode
+// against the host mirrors ("ok" column).
+//
+// SEMPE_BENCH_ITERS sets the harness iteration count per run (default 4).
+// The points run concurrently through sim/batch_runner.h; output order is
+// fixed regardless of --threads.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "sim/batch_runner.h"
+#include "workloads/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "synthetic kernel family: all kernels x "
+                                 "{legacy, SeMPE, CTE}",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
+
+  const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 4);
+  std::vector<std::string> specs;
+  for (const workloads::SynthKind kind : workloads::all_synth_kinds()) {
+    for (const usize w : {usize{1}, usize{4}}) {
+      for (const char* secrets : {"0", "1"}) {
+        specs.push_back(std::string("synthetic.") +
+                        workloads::synth_name(kind) +
+                        "?width=" + std::to_string(w) +
+                        "&iters=" + std::to_string(iters) + "&secrets=" +
+                        secrets);
+      }
+    }
+  }
+  const auto jobs = sim::workload_grid(specs, sim::MicrobenchOptions{});
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_workload_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  bool all_ok = true;
+  for (const auto& pt : points) {
+    all_ok = all_ok && pt.results_ok;
+    std::fprintf(out,
+                 "synthetic  %-48s  SeMPE %6.2fx   CTE %7.2fx   %s\n",
+                 pt.spec.c_str(), pt.sempe_slowdown(), pt.cte_slowdown(),
+                 pt.results_ok ? "ok" : "RESULTS MISMATCH");
+  }
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::workload_json("synthetic", jobs, points)))
+    return 1;
+  return all_ok ? 0 : 1;
+}

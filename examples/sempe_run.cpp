@@ -1,14 +1,23 @@
-// sempe_run — assemble and execute a SeMPE assembly file.
+// sempe_run — assemble and execute a SeMPE assembly file, or build and
+// execute any workload registered with the workload registry.
 //
-//   build/examples/sempe_run FILE.s [--mode=sempe|legacy] [--timeline]
-//                                   [--no-verify] [--trace]
+//   build/examples/sempe_run FILE.s          [--mode=sempe|legacy]
+//                                            [--timeline] [--no-verify]
+//                                            [--trace]
+//   build/examples/sempe_run --workload=SPEC [--mode=sempe|legacy]
+//                                            [--variant=secure|cte]
+//                                            [--timeline] [--trace]
+//   build/examples/sempe_run --list-workloads
 //
-// Assembles FILE.s (see isa/assembler.h for the grammar), statically
-// verifies its secure regions, runs it on the selected core, and prints
-// execution statistics. --timeline dumps the first 64 rows of the pipeline
-// schedule; --trace prints the observable-channel summary.
+// FILE.s is assembled (see isa/assembler.h for the grammar), statically
+// verified, and run on the selected core. --workload=SPEC instead resolves
+// a `name?key=val&...` spec (e.g. synthetic.ptr_chase?size=4096&stride=64)
+// through workloads/registry.h, runs it, and checks the merged results
+// against the host-computed expectations. --timeline dumps the first 64
+// rows of the pipeline schedule; --trace prints the observable-channel
+// summary.
 //
-// A ready-made input lives at examples/demo.s.
+// A ready-made assembly input lives at examples/demo.s.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,34 +28,101 @@
 #include "isa/assembler.h"
 #include "sim/simulator.h"
 #include "sim/timeline.h"
+#include "workloads/registry.h"
 
 using namespace sempe;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s FILE.s [--mode=sempe|legacy] [--timeline] "
-                 "[--no-verify] [--trace]\n"
-                 "a ready-made input lives at examples/demo.s, e.g.:\n"
-                 "  %s examples/demo.s --timeline\n",
-                 argv[0], argv[0]);
-    return 1;
-  }
-  const char* path = argv[1];
-  cpu::ExecMode mode = cpu::ExecMode::kSempe;
-  bool timeline = false, verify = true, trace = false;
-  for (int i = 2; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--mode=legacy")) mode = cpu::ExecMode::kLegacy;
-    else if (!std::strcmp(argv[i], "--mode=sempe")) mode = cpu::ExecMode::kSempe;
-    else if (!std::strcmp(argv[i], "--timeline")) timeline = true;
-    else if (!std::strcmp(argv[i], "--no-verify")) verify = false;
-    else if (!std::strcmp(argv[i], "--trace")) trace = true;
-    else {
-      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
-      return 1;
-    }
-  }
+namespace {
 
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE.s          [--mode=sempe|legacy] [--timeline] "
+               "[--no-verify] [--trace]\n"
+               "       %s --workload=SPEC [--mode=sempe|legacy] "
+               "[--variant=secure|cte] [--timeline] [--trace]\n"
+               "       %s --list-workloads\n"
+               "a ready-made assembly input lives at examples/demo.s, e.g.:\n"
+               "  %s examples/demo.s --timeline\n"
+               "registered workloads (SPEC is name or name?key=val&...):\n",
+               argv0, argv0, argv0, argv0);
+  for (const std::string& n : workloads::WorkloadRegistry::instance().names())
+    std::fprintf(stderr, "  %s\n", n.c_str());
+}
+
+int list_workloads() {
+  const auto& reg = workloads::WorkloadRegistry::instance();
+  std::printf("registered workloads:\n");
+  for (const std::string& n : reg.names()) {
+    const workloads::WorkloadGenerator& g = reg.resolve(n);
+    std::printf("  %-22s %s%s\n", n.c_str(), g.summary().c_str(),
+                g.has_cte_variant() ? "" : " [no CTE variant]");
+  }
+  std::printf(
+      "\nspec grammar: name?key=val&key=val  "
+      "(e.g. synthetic.ptr_chase?size=4096&stride=64)\n");
+  return 0;
+}
+
+void print_stats(const sim::RunResult& r, cpu::ExecMode mode) {
+  std::printf("\nmode: %s\n",
+              mode == cpu::ExecMode::kSempe ? "SeMPE" : "legacy");
+  std::printf("instructions: %llu\ncycles:       %llu\nCPI:          %.2f\n",
+              (unsigned long long)r.instructions,
+              (unsigned long long)r.stats.cycles, r.stats.cpi());
+  std::printf("branches:     %llu (%llu mispredicted)\n",
+              (unsigned long long)r.stats.cond_branches,
+              (unsigned long long)r.stats.branch_mispredicts);
+  std::printf("secure:       %llu sJMP, %llu regions, %llu SPM bytes\n",
+              (unsigned long long)r.stats.sjmp_executed,
+              (unsigned long long)r.stats.secure_regions_completed,
+              (unsigned long long)r.stats.spm_bytes);
+  std::printf("caches:       IL1 %.2f%%  DL1 %.2f%%  L2 %.2f%% miss\n",
+              r.stats.il1_miss_rate() * 100, r.stats.dl1_miss_rate() * 100,
+              r.stats.l2_miss_rate() * 100);
+}
+
+void print_trace(const sim::RunResult& r) {
+  std::printf("\nobservable channels: %llu fetch events, %llu memory "
+              "events, fetch hash %016llx, memory hash %016llx\n",
+              (unsigned long long)r.trace.fetch_count,
+              (unsigned long long)r.trace.mem_count,
+              (unsigned long long)r.trace.fetch_hash,
+              (unsigned long long)r.trace.mem_hash);
+}
+
+int run_workload(const std::string& spec_text, cpu::ExecMode mode,
+                 workloads::Variant variant, bool timeline, bool trace) {
+  const workloads::BuiltWorkload w =
+      workloads::WorkloadRegistry::instance().build(spec_text, variant);
+  std::printf("workload: %s (%s variant, %zu instructions, %zu result "
+              "word(s))\n",
+              w.spec.c_str(),
+              variant == workloads::Variant::kCte ? "CTE" : "secure",
+              w.program.num_instructions(), w.num_results);
+
+  sim::RunConfig rc;
+  rc.mode = mode;
+  rc.probe_addr = w.results_addr;
+  rc.probe_words = w.num_results;
+  const auto r = sim::run(w.program, rc);
+  print_stats(r, mode);
+
+  const bool ok = r.probed == w.expected_results;
+  std::printf("results:      ");
+  for (const u64 v : r.probed) std::printf("%016llx ", (unsigned long long)v);
+  std::printf("\nexpected:     ");
+  for (const u64 v : w.expected_results)
+    std::printf("%016llx ", (unsigned long long)v);
+  std::printf("\ncheck:        %s\n", ok ? "OK" : "MISMATCH");
+
+  if (trace) print_trace(r);
+  if (timeline)
+    std::printf("\n%s", sim::capture_timeline(w.program, mode, 64).c_str());
+  return ok ? 0 : 3;
+}
+
+int run_assembly(const char* path, cpu::ExecMode mode, bool timeline,
+                 bool verify, bool trace) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open '%s'\n", path);
@@ -55,57 +131,106 @@ int main(int argc, char** argv) {
   std::ostringstream src;
   src << in.rdbuf();
 
+  const isa::Program prog = isa::assemble(src.str());
+  std::printf("%zu instructions assembled from %s\n", prog.num_instructions(),
+              path);
+
+  if (verify) {
+    core::VerifyOptions vo;
+    vo.allow_div = true;
+    const auto vr = core::verify_secure_regions(prog, vo);
+    std::printf("secure-region verifier: %s", vr.to_string().c_str());
+    if (!vr.ok()) std::printf("(use --no-verify to run anyway)\n");
+    if (!vr.ok()) return 2;
+  }
+
+  sim::RunConfig rc;
+  rc.mode = mode;
+  const auto r = sim::run(prog, rc);
+  print_stats(r, mode);
+  std::printf("registers:    x4=%lld x5=%lld x6=%lld x20=%lld\n",
+              (long long)r.final_state.get_int(4),
+              (long long)r.final_state.get_int(5),
+              (long long)r.final_state.get_int(6),
+              (long long)r.final_state.get_int(20));
+  if (trace) print_trace(r);
+  if (timeline)
+    std::printf("\n%s", sim::capture_timeline(prog, mode, 64).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::string workload;
+  cpu::ExecMode mode = cpu::ExecMode::kSempe;
+  workloads::Variant variant = workloads::Variant::kSecure;
+  bool timeline = false, verify = true, trace = false, list = false;
+  bool variant_set = false, no_verify_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--mode=legacy")) mode = cpu::ExecMode::kLegacy;
+    else if (!std::strcmp(a, "--mode=sempe")) mode = cpu::ExecMode::kSempe;
+    else if (!std::strcmp(a, "--variant=secure")) {
+      variant = workloads::Variant::kSecure;
+      variant_set = true;
+    } else if (!std::strcmp(a, "--variant=cte")) {
+      variant = workloads::Variant::kCte;
+      variant_set = true;
+    } else if (!std::strcmp(a, "--timeline")) timeline = true;
+    else if (!std::strcmp(a, "--no-verify")) {
+      verify = false;
+      no_verify_set = true;
+    } else if (!std::strcmp(a, "--trace")) trace = true;
+    else if (!std::strcmp(a, "--list-workloads")) list = true;
+    else if (!std::strncmp(a, "--workload=", 11)) workload = a + 11;
+    else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", a);
+      print_usage(argv[0]);
+      return 1;
+    } else if (path == nullptr) {
+      path = a;
+    } else {
+      std::fprintf(stderr, "more than one input file ('%s', '%s')\n", path, a);
+      print_usage(argv[0]);
+      return 1;
+    }
+  }
+
+  if (list) {
+    if (argc > 2) {
+      std::fprintf(stderr, "--list-workloads takes no other arguments\n");
+      return 1;
+    }
+    return list_workloads();
+  }
+  if ((path == nullptr) == workload.empty()) {
+    // Neither or both of FILE.s / --workload: a usage error either way.
+    print_usage(argv[0]);
+    return 1;
+  }
+  // Refuse flags that would otherwise be silently ignored in this mode.
+  if (!workload.empty() && no_verify_set) {
+    std::fprintf(stderr,
+                 "--no-verify only applies to assembly inputs (generated "
+                 "workloads are not run through the verifier)\n");
+    return 1;
+  }
+  if (path != nullptr && variant_set) {
+    std::fprintf(stderr,
+                 "--variant only applies to --workload (an assembly file is "
+                 "already one fixed variant)\n");
+    return 1;
+  }
+
   try {
-    const isa::Program prog = isa::assemble(src.str());
-    std::printf("%zu instructions assembled from %s\n",
-                prog.num_instructions(), path);
-
-    if (verify) {
-      core::VerifyOptions vo;
-      vo.allow_div = true;
-      const auto vr = core::verify_secure_regions(prog, vo);
-      std::printf("secure-region verifier: %s", vr.to_string().c_str());
-      if (!vr.ok()) std::printf("(use --no-verify to run anyway)\n");
-      if (!vr.ok()) return 2;
-    }
-
-    sim::RunConfig rc;
-    rc.mode = mode;
-    const auto r = sim::run(prog, rc);
-    std::printf("\nmode: %s\n", mode == cpu::ExecMode::kSempe ? "SeMPE" : "legacy");
-    std::printf("instructions: %llu\ncycles:       %llu\nCPI:          %.2f\n",
-                (unsigned long long)r.instructions,
-                (unsigned long long)r.stats.cycles, r.stats.cpi());
-    std::printf("branches:     %llu (%llu mispredicted)\n",
-                (unsigned long long)r.stats.cond_branches,
-                (unsigned long long)r.stats.branch_mispredicts);
-    std::printf("secure:       %llu sJMP, %llu regions, %llu SPM bytes\n",
-                (unsigned long long)r.stats.sjmp_executed,
-                (unsigned long long)r.stats.secure_regions_completed,
-                (unsigned long long)r.stats.spm_bytes);
-    std::printf("caches:       IL1 %.2f%%  DL1 %.2f%%  L2 %.2f%% miss\n",
-                r.stats.il1_miss_rate() * 100, r.stats.dl1_miss_rate() * 100,
-                r.stats.l2_miss_rate() * 100);
-    std::printf("registers:    x4=%lld x5=%lld x6=%lld x20=%lld\n",
-                (long long)r.final_state.get_int(4),
-                (long long)r.final_state.get_int(5),
-                (long long)r.final_state.get_int(6),
-                (long long)r.final_state.get_int(20));
-    if (trace) {
-      std::printf("\nobservable channels: %llu fetch events, %llu memory "
-                  "events, fetch hash %016llx, memory hash %016llx\n",
-                  (unsigned long long)r.trace.fetch_count,
-                  (unsigned long long)r.trace.mem_count,
-                  (unsigned long long)r.trace.fetch_hash,
-                  (unsigned long long)r.trace.mem_hash);
-    }
-    if (timeline) {
-      std::printf("\n%s",
-                  sim::capture_timeline(prog, mode, 64).c_str());
-    }
+    if (!workload.empty())
+      return run_workload(workload, mode, variant, timeline, trace);
+    return run_assembly(path, mode, timeline, verify, trace);
   } catch (const SimError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  return 0;
 }

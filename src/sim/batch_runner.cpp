@@ -69,9 +69,20 @@ void append_kv_s(std::string& out, const char* key, const std::string& v,
            last ? "" : ",");
 }
 
-std::string json_header(const std::string& experiment) {
+// The metadata header. `threads` is deliberately the constant 0: results
+// are thread-count invariant by construction, and recording the actual
+// worker count would break the byte-identical-across---threads guarantee.
+std::string json_header(const std::string& experiment,
+                        const std::string& workload, const char* modes) {
   std::string out = "{\n";
-  append_f(out, "  \"experiment\": \"%s\",\n", json_escape(experiment).c_str());
+  out += "  \"meta\": {\n";
+  append_f(out, "    \"schema_version\": %d,\n", kResultSchemaVersion);
+  append_f(out, "    \"experiment\": \"%s\",\n",
+           json_escape(experiment).c_str());
+  append_f(out, "    \"workload\": \"%s\",\n", json_escape(workload).c_str());
+  append_f(out, "    \"modes\": \"%s\",\n", modes);
+  out += "    \"threads\": 0\n";
+  out += "  },\n";
   out += "  \"points\": [\n";
   return out;
 }
@@ -103,6 +114,17 @@ std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
   return run_indexed(jobs.size(), threads, [&](usize i) {
     const DjpegJob& j = jobs[i];
     return measure_djpeg(j.format, j.pixels, j.scale, j.image_seed);
+  });
+}
+
+std::vector<WorkloadPoint> run_workload_jobs(
+    const std::vector<WorkloadJob>& jobs, usize threads) {
+  // Touch the registry before fanning out: its lazy construction is the
+  // only shared mutable state a workload job could race on.
+  workloads::WorkloadRegistry::instance();
+  return run_indexed(jobs.size(), threads, [&](usize i) {
+    const WorkloadJob& j = jobs[i];
+    return measure_workload(j.spec, j.opt);
   });
 }
 
@@ -144,6 +166,20 @@ std::vector<DjpegJob> djpeg_grid(
   return jobs;
 }
 
+std::vector<WorkloadJob> workload_grid(const std::vector<std::string>& specs,
+                                       const MicrobenchOptions& opt) {
+  std::vector<WorkloadJob> jobs;
+  jobs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    WorkloadJob j;
+    j.label = spec;
+    j.spec = spec;
+    j.opt = opt;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
 const std::vector<workloads::Kind>& all_kinds() {
   static const std::vector<workloads::Kind> kinds = {
       workloads::Kind::kFibonacci, workloads::Kind::kOnes,
@@ -161,7 +197,8 @@ std::string microbench_json(const std::string& experiment,
                             const std::vector<MicrobenchJob>& jobs,
                             const std::vector<MicrobenchPoint>& points) {
   SEMPE_CHECK(jobs.size() == points.size());
-  std::string out = json_header(experiment);
+  std::string out =
+      json_header(experiment, "microbench", "legacy,sempe,cte,ideal");
   for (usize i = 0; i < points.size(); ++i) {
     const MicrobenchPoint& p = points[i];
     out += "    {\n";
@@ -191,7 +228,7 @@ std::string djpeg_json(const std::string& experiment,
                        const std::vector<DjpegJob>& jobs,
                        const std::vector<DjpegPoint>& points) {
   SEMPE_CHECK(jobs.size() == points.size());
-  std::string out = json_header(experiment);
+  std::string out = json_header(experiment, "djpeg", "legacy,sempe");
   for (usize i = 0; i < points.size(); ++i) {
     const DjpegPoint& p = points[i];
     out += "    {\n";
@@ -209,6 +246,42 @@ std::string djpeg_json(const std::string& experiment,
     append_kv_f(out, "dl1_miss_sempe", p.sempe.dl1_miss_rate());
     append_kv_f(out, "l2_miss_baseline", p.baseline.l2_miss_rate());
     append_kv_f(out, "l2_miss_sempe", p.sempe.l2_miss_rate(), /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+std::string workload_json(const std::string& experiment,
+                          const std::vector<WorkloadJob>& jobs,
+                          const std::vector<WorkloadPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  // Header workload field: the distinct generator names, in job order.
+  std::vector<std::string> seen;
+  std::string generators;
+  for (const WorkloadJob& j : jobs) {
+    const std::string name = j.spec.substr(0, j.spec.find('?'));
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    if (!generators.empty()) generators += ',';
+    generators += name;
+  }
+  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+  for (usize i = 0; i < points.size(); ++i) {
+    const WorkloadPoint& p = points[i];
+    out += "    {\n";
+    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "spec", p.spec);
+    append_kv_u64(out, "has_cte", p.has_cte ? 1 : 0);
+    append_kv_u64(out, "results_ok", p.results_ok ? 1 : 0);
+    append_kv_u64(out, "baseline_cycles", p.baseline_cycles);
+    append_kv_u64(out, "sempe_cycles", p.sempe_cycles);
+    append_kv_u64(out, "cte_cycles", p.cte_cycles);
+    append_kv_u64(out, "baseline_instructions", p.baseline_instructions);
+    append_kv_u64(out, "sempe_instructions", p.sempe_instructions);
+    append_kv_u64(out, "cte_instructions", p.cte_instructions);
+    append_kv_f(out, "sempe_slowdown", p.sempe_slowdown());
+    append_kv_f(out, "cte_slowdown", p.cte_slowdown(), /*last=*/true);
     out += i + 1 == points.size() ? "    }\n" : "    },\n";
   }
   json_footer(out);

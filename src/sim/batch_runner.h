@@ -94,12 +94,22 @@ struct DjpegJob {
   u64 image_seed = 1;
 };
 
-/// Run every job through measure_microbench / measure_djpeg on `threads`
-/// workers; results come back in job order.
+/// A registry-resolved workload spec (see workloads/registry.h); the
+/// generator-agnostic job form every future scenario sweep uses.
+struct WorkloadJob {
+  std::string label;  // e.g. "synthetic.ptr_chase/W=4"
+  std::string spec;   // e.g. "synthetic.ptr_chase?size=4096&width=4"
+  MicrobenchOptions opt{};  // machine knobs only (see measure_workload)
+};
+
+/// Run every job through measure_microbench / measure_djpeg /
+/// measure_workload on `threads` workers; results come back in job order.
 std::vector<MicrobenchPoint> run_microbench_jobs(
     const std::vector<MicrobenchJob>& jobs, usize threads);
 std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
                                        usize threads);
+std::vector<WorkloadPoint> run_workload_jobs(
+    const std::vector<WorkloadJob>& jobs, usize threads);
 
 /// Cartesian sweep (kind-major, so a figure's series stay contiguous).
 std::vector<MicrobenchJob> microbench_grid(
@@ -109,15 +119,25 @@ std::vector<DjpegJob> djpeg_grid(
     const std::vector<workloads::OutputFormat>& formats,
     const std::vector<usize>& pixel_sizes, usize scale);
 
+/// One job per spec; labels default to the spec text.
+std::vector<WorkloadJob> workload_grid(const std::vector<std::string>& specs,
+                                       const MicrobenchOptions& opt);
+
 /// The four Fig. 7 microbenchmark kinds.
 const std::vector<workloads::Kind>& all_kinds();
 /// The four djpeg image sizes (pixels) of Figs. 8 and 9.
 const std::vector<usize>& djpeg_sizes();
 
 // ---------------------------------------------------------------------------
-// Machine-readable results. The JSON contains only deterministic simulation
-// outputs (no wall-clock times, no thread counts), so a sweep serializes to
-// byte-identical text for any --threads value.
+// Machine-readable results. Every document opens with a `meta` header
+// (schema version, experiment name, workload description, mode list) ahead
+// of the `points` array. The JSON contains only deterministic simulation
+// outputs — no wall-clock times, and the header's `threads` field is the
+// constant 0 ("thread-count invariant"; the actual worker count goes to
+// stderr) — so a sweep serializes to byte-identical text for any --threads
+// value.
+
+inline constexpr int kResultSchemaVersion = 1;
 
 std::string microbench_json(const std::string& experiment,
                             const std::vector<MicrobenchJob>& jobs,
@@ -125,6 +145,9 @@ std::string microbench_json(const std::string& experiment,
 std::string djpeg_json(const std::string& experiment,
                        const std::vector<DjpegJob>& jobs,
                        const std::vector<DjpegPoint>& points);
+std::string workload_json(const std::string& experiment,
+                          const std::vector<WorkloadJob>& jobs,
+                          const std::vector<WorkloadPoint>& points);
 
 // ---------------------------------------------------------------------------
 // Shared bench CLI.

@@ -11,7 +11,8 @@ using workloads::Variant;
 namespace {
 
 RunResult run_built(const isa::Program& program, cpu::ExecMode mode,
-                    const MicrobenchOptions& opt = {}) {
+                    const MicrobenchOptions& opt = {}, Addr probe_addr = 0,
+                    usize probe_words = 0) {
   RunConfig rc;
   rc.mode = mode;
   rc.record_observations = false;  // timing only; observation runs are tests
@@ -21,6 +22,8 @@ RunResult run_built(const isa::Program& program, cpu::ExecMode mode,
   rc.pipe.front_end_depth += opt.extra_front_end_depth;
   if (opt.rename_width_override != 0)
     rc.pipe.rename_width = opt.rename_width_override;
+  rc.probe_addr = probe_addr;
+  rc.probe_words = probe_words;
   return run(program, rc);
 }
 
@@ -80,6 +83,51 @@ MicrobenchPoint measure_microbench(workloads::Kind kind, usize width,
       run_built(one.program, cpu::ExecMode::kLegacy, opt).cycles();
   pt.ideal_standalone_cycles = static_cast<Cycle>(width + 1) * t1;
 
+  return pt;
+}
+
+WorkloadPoint measure_workload(const std::string& spec,
+                               const MicrobenchOptions& opt) {
+  using workloads::BuiltWorkload;
+  using workloads::Variant;
+
+  // One parse + one registry lookup serve all the builds of this point.
+  const workloads::WorkloadSpec parsed = workloads::WorkloadSpec::parse(spec);
+  const workloads::WorkloadGenerator& gen =
+      workloads::WorkloadRegistry::instance().resolve(parsed.name);
+
+  WorkloadPoint pt;
+  const BuiltWorkload secure = gen.build(parsed, Variant::kSecure);
+  pt.spec = secure.spec;
+
+  auto timed = [&](const BuiltWorkload& b, cpu::ExecMode mode) {
+    return run_built(b.program, mode, opt, b.results_addr, b.num_results);
+  };
+
+  bool ok = true;
+  {
+    const RunResult r = timed(secure, cpu::ExecMode::kLegacy);
+    pt.baseline_cycles = r.cycles();
+    pt.baseline_instructions = r.instructions;
+    ok = ok && r.probed == secure.expected_results;
+  }
+  {
+    const RunResult r = timed(secure, cpu::ExecMode::kSempe);
+    pt.sempe_cycles = r.cycles();
+    pt.sempe_instructions = r.instructions;
+    ok = ok && r.probed == secure.expected_results;
+  }
+
+  pt.has_cte = gen.has_cte_variant();
+  if (pt.has_cte) {
+    const BuiltWorkload cte = gen.build(parsed, Variant::kCte);
+    const RunResult r = timed(cte, cpu::ExecMode::kLegacy);
+    pt.cte_cycles = r.cycles();
+    pt.cte_instructions = r.instructions;
+    ok = ok && r.probed == cte.expected_results &&
+         cte.expected_results == secure.expected_results;
+  }
+  pt.results_ok = ok;
   return pt;
 }
 

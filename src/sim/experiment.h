@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 #include "workloads/djpeg.h"
 #include "workloads/microbench.h"
+#include "workloads/registry.h"
 
 namespace sempe::sim {
 
@@ -84,6 +85,36 @@ struct DjpegPoint {
 /// Run the djpeg workload for one (format, size) cell of Figs. 8 and 9.
 DjpegPoint measure_djpeg(workloads::OutputFormat fmt, usize pixels,
                          usize scale = 8, u64 image_seed = 1);
+
+/// One registry-resolved workload spec, timed across the full mode matrix:
+/// the secure binary on the legacy core (baseline) and the SeMPE core, and
+/// — when the generator has one — the CTE binary on the legacy core. Every
+/// run's merged results are probed and checked against the host-computed
+/// expectations, and against each other across modes.
+struct WorkloadPoint {
+  std::string spec;        // canonical spec (every parameter resolved)
+  bool has_cte = false;    // generator provides a CTE variant
+  bool results_ok = false; // all runs matched the expected results
+  Cycle baseline_cycles = 0;
+  Cycle sempe_cycles = 0;
+  Cycle cte_cycles = 0;
+  u64 baseline_instructions = 0;
+  u64 sempe_instructions = 0;
+  u64 cte_instructions = 0;
+
+  double sempe_slowdown() const {
+    return MicrobenchPoint::ratio(sempe_cycles, baseline_cycles);
+  }
+  double cte_slowdown() const {
+    return MicrobenchPoint::ratio(cte_cycles, baseline_cycles);
+  }
+};
+
+/// Resolve `spec` through the workload registry and measure it. The
+/// machine knobs of `opt` apply to every run; its iterations/size fields
+/// are ignored (the spec's own parameters control workload shape).
+WorkloadPoint measure_workload(const std::string& spec,
+                               const MicrobenchOptions& opt = {});
 
 /// Benchmark scaling knobs from the environment (so `make bench` stays
 /// fast by default but full-size runs are one env var away):

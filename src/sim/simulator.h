@@ -49,9 +49,4 @@ FunctionalResult run_functional(const isa::Program& program,
                                 const cpu::CoreConfig& core_cfg = {},
                                 Addr probe_addr = 0, usize probe_words = 0);
 
-/// Convenience: read a 64-bit word of simulated memory after a run is not
-/// possible (memory is torn down); instead workloads write results to
-/// registers or tests re-run with a probe. For register result conventions
-/// see workloads/microbench.h.
-
 }  // namespace sempe::sim

@@ -1,0 +1,72 @@
+// The generalized Fig. 7 evaluation harness: I iterations of W nested
+// secret-dependent conditionals, each guarding one kernel body, with the
+// (W+1)-th body executing unconditionally after the nest. This is the
+// skeleton every workload generator plugs into — the microbenchmark kinds
+// (workloads/kernels.h), the synthetic kernel family
+// (workloads/synthetic.h), and any future generator registered with
+// workloads/registry.h.
+//
+// A kernel contributes a KernelSpec: its shared read-only input image,
+// per-level private buffer sizes, two emitters (natural and CTE/masked),
+// and the host-computed checksum one execution leaves in its out_slot.
+// The harness owns everything else: data layout, the sJMP/eosJMP nest,
+// the CMOV merge phase (kSecure) or the guard-mask chain (kCte), and the
+// expected merged results.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "isa/program.h"
+#include "isa/program_builder.h"
+#include "workloads/kernels.h"
+
+namespace sempe::workloads {
+
+/// Build flavor of a harnessed workload.
+///   kSecure — sJMP-annotated, shadow-memory privatized, CMOV merge phase.
+///             Run in legacy mode it is the unprotected baseline; run in
+///             SeMPE mode it is the protected configuration (same binary).
+///   kCte    — FaCT-style constant-time build: no secret branches; every
+///             level executes under a propagated guard mask.
+enum class Variant : u8 { kSecure, kCte };
+
+/// One kernel body, as the harness sees it. Emitters may clobber x10..x27
+/// (and x1); the CTE emitter must honor rGuardBool/rGuardMask/rGuardNot
+/// and mask every memory write with the guard.
+struct KernelSpec {
+  std::string name;        // diagnostic label, e.g. "synthetic.ptr_chase"
+  usize size = 0;          // problem size forwarded in KernelParams::size
+  std::vector<i64> input;  // shared read-only input image (may be empty)
+  usize buf_words = 0;     // private working buffer, per nesting level
+  usize aux_words = 0;     // private auxiliary buffer, per nesting level
+  u64 expected = 0;        // host-computed out_slot value of one execution
+  std::function<void(isa::ProgramBuilder&, const KernelParams&)> emit;
+  std::function<void(isa::ProgramBuilder&, const KernelParams&)> emit_cte;
+};
+
+struct HarnessConfig {
+  usize width = 1;          // W: number of secret branches per iteration
+  usize iterations = 100;   // I
+  Variant variant = Variant::kSecure;
+  std::vector<u8> secrets;  // s1..sW (0/1); missing entries default to 0
+};
+
+struct BuiltHarness {
+  isa::Program program;
+  Addr results_addr = 0;              // W+1 merged result words
+  usize num_results = 0;
+  std::vector<u64> expected_results;  // host-computed, given the secrets
+};
+
+/// Wrap `spec` in the Fig. 7 harness. A kCte build requires both emitters
+/// (the unconditional (W+1)-th body uses the natural form).
+BuiltHarness build_harness(const KernelSpec& spec, const HarnessConfig& cfg);
+
+/// The CTE store-masking idiom every masked kernel uses: dst = guard ?
+/// val : dst against the level guard registers (rGuardMask/rGuardNot).
+/// Three instructions, no branches.
+void emit_guard_select(isa::ProgramBuilder& pb, isa::Reg dst, isa::Reg val,
+                       isa::Reg scratch);
+
+}  // namespace sempe::workloads

@@ -1,10 +1,12 @@
 #include "workloads/kernels.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "workloads/harness.h"
 #include "workloads/workload_regs.h"
 
 namespace sempe::workloads {
@@ -23,14 +25,6 @@ u64 xorshift64_step(u64 x) {
   x ^= x >> 7;
   x ^= x << 17;
   return x;
-}
-
-/// Guarded select against the level guard registers:
-/// dst = guard ? val : dst. Three instructions, no branches.
-void emit_guard_select(ProgramBuilder& pb, Reg dst, Reg val, Reg scratch) {
-  pb.and_(scratch, val, rGuardMask);
-  pb.and_(dst, dst, rGuardNot);
-  pb.or_(dst, dst, scratch);
 }
 
 // ---------------------------------------------------------------------------
@@ -525,6 +519,14 @@ u64 host_queens(usize n) {
   return count;
 }
 
+/// Out-of-range Kind values (a corrupted config, a cast from a raw int)
+/// must fail loudly, not silently fall through to a placeholder.
+[[noreturn]] void bad_kind(Kind kd) {
+  SEMPE_CHECK_MSG(false, "out-of-range workloads::Kind value "
+                             << static_cast<int>(static_cast<u8>(kd)));
+  std::abort();  // unreachable: SEMPE_CHECK throws
+}
+
 }  // namespace
 
 const char* kind_name(Kind kd) {
@@ -534,7 +536,7 @@ const char* kind_name(Kind kd) {
     case Kind::kQuicksort: return "quicksort";
     case Kind::kQueens: return "queens";
   }
-  return "?";
+  bad_kind(kd);
 }
 
 usize kernel_default_size(Kind kd) {
@@ -544,10 +546,11 @@ usize kernel_default_size(Kind kd) {
     case Kind::kQuicksort: return 64;
     case Kind::kQueens: return 5;
   }
-  return 0;
+  bad_kind(kd);
 }
 
 usize kernel_input_words(Kind kd, usize size) {
+  kind_name(kd);  // range check
   return kd == Kind::kQuicksort ? size : 0;
 }
 
@@ -558,10 +561,11 @@ usize kernel_buf_words(Kind kd, usize size) {
     case Kind::kQuicksort: return size;
     case Kind::kQueens: return size;  // col[] for the backtracking version
   }
-  return 0;
+  bad_kind(kd);
 }
 
 usize kernel_aux_words(Kind kd, usize size) {
+  kind_name(kd);  // range check
   // Quicksort's explicit stack: worst case ~(size+1) frames of 2 words.
   return kd == Kind::kQuicksort ? 4 * size + 8 : 0;
 }
@@ -573,6 +577,7 @@ void emit_kernel(ProgramBuilder& pb, Kind kd, const KernelParams& p) {
     case Kind::kQuicksort: emit_quicksort(pb, p); return;
     case Kind::kQueens: emit_queens(pb, p); return;
   }
+  bad_kind(kd);
 }
 
 void emit_kernel_cte(ProgramBuilder& pb, Kind kd, const KernelParams& p) {
@@ -582,6 +587,7 @@ void emit_kernel_cte(ProgramBuilder& pb, Kind kd, const KernelParams& p) {
     case Kind::kQuicksort: emit_quicksort_cte(pb, p); return;
     case Kind::kQueens: emit_queens_cte(pb, p); return;
   }
+  bad_kind(kd);
 }
 
 std::vector<i64> make_input(Kind kd, usize size, u64 seed) {
@@ -598,7 +604,7 @@ u64 expected_checksum(Kind kd, usize size, const std::vector<i64>& input) {
     case Kind::kQuicksort: return host_sorted_checksum(input);
     case Kind::kQueens: return host_queens(size);
   }
-  return 0;
+  bad_kind(kd);
 }
 
 }  // namespace sempe::workloads

@@ -1,135 +1,43 @@
 #include "workloads/microbench.h"
 
-#include "isa/program_builder.h"
 #include "util/check.h"
-#include "workloads/workload_regs.h"
 
 namespace sempe::workloads {
 
-using isa::ProgramBuilder;
-using isa::Secure;
-using Label = ProgramBuilder::Label;
+KernelSpec microbench_kernel_spec(Kind kind, usize size, u64 input_seed) {
+  KernelSpec s;
+  s.name = std::string("micro.") + kind_name(kind);
+  s.size = size;
+  s.input = make_input(kind, size, input_seed);
+  s.buf_words = kernel_buf_words(kind, size);
+  s.aux_words = kernel_aux_words(kind, size);
+  s.expected = expected_checksum(kind, size, s.input);
+  s.emit = [kind](isa::ProgramBuilder& pb, const KernelParams& p) {
+    emit_kernel(pb, kind, p);
+  };
+  s.emit_cte = [kind](isa::ProgramBuilder& pb, const KernelParams& p) {
+    emit_kernel_cte(pb, kind, p);
+  };
+  return s;
+}
 
 BuiltMicrobench build_microbench(const MicrobenchConfig& cfg) {
-  SEMPE_CHECK_MSG(cfg.iterations > 0, "iterations must be positive");
-  SEMPE_CHECK_MSG(cfg.width <= 30, "width exceeds jbTable capacity");
-
-  const usize W = cfg.width;
-  const usize levels = W + 1;
   const usize n = cfg.size ? cfg.size : kernel_default_size(cfg.kind);
+  const KernelSpec spec = microbench_kernel_spec(cfg.kind, n, cfg.input_seed);
 
-  ProgramBuilder pb;
+  HarnessConfig h;
+  h.width = cfg.width;
+  h.iterations = cfg.iterations;
+  h.variant = cfg.variant;
+  h.secrets = cfg.secrets;
+  BuiltHarness b = build_harness(spec, h);
 
-  // --- Data layout -----------------------------------------------------------
-  // Secrets: W words of 0/1.
-  std::vector<i64> secret_words(std::max<usize>(W, 1), 0);
-  for (usize w = 0; w < W; ++w)
-    secret_words[w] = (w < cfg.secrets.size() && cfg.secrets[w]) ? 1 : 0;
-  const Addr secrets_addr = pb.alloc_words(secret_words);
-
-  // Merged results: one word per level.
-  const Addr results_addr = pb.alloc(levels * 8, 8);
-
-  // Shared read-only input.
-  const std::vector<i64> input = make_input(cfg.kind, n, cfg.input_seed);
-  const Addr input_addr =
-      input.empty() ? 0 : pb.alloc_words(input);
-
-  // Per-level private (shadow) buffers + output slots.
-  std::vector<KernelParams> params(levels);
-  for (usize lv = 0; lv < levels; ++lv) {
-    KernelParams& p = params[lv];
-    p.size = n;
-    p.input = input_addr;
-    const usize bw = kernel_buf_words(cfg.kind, n);
-    const usize aw = kernel_aux_words(cfg.kind, n);
-    p.buf = bw ? pb.alloc(bw * 8, 64) : 0;
-    p.aux = aw ? pb.alloc(aw * 8, 64) : 0;
-    p.out_slot = pb.alloc(8, 8);
-  }
-
-  // --- Code ------------------------------------------------------------------
-  pb.li(rSecrets, static_cast<i64>(secrets_addr));
-  pb.li(rResults, static_cast<i64>(results_addr));
-  pb.li(rIter, 0);
-  const Label loop = pb.new_label();
-  pb.bind(loop);
-
-  if (cfg.variant == Variant::kSecure) {
-    // Nested secret branches (Fig. 7): skip the level when the secret is 0.
-    std::vector<Label> joins(W);
-    for (usize w = 0; w < W; ++w) {
-      joins[w] = pb.new_label();
-      pb.ld(rCond, rSecrets, static_cast<i64>(w * 8));
-      pb.beq(rCond, isa::kRegZero, joins[w], Secure::kYes);  // sJMP
-      emit_kernel(pb, cfg.kind, params[w]);
-    }
-    // Join chain, innermost first; the branch targets land exactly on the
-    // eosJMP instructions (the first instruction common to both paths).
-    for (usize w = W; w-- > 0;) {
-      pb.bind(joins[w]);
-      pb.eosjmp();
-    }
-    // Workload W+1, unconditional.
-    emit_kernel(pb, cfg.kind, params[W]);
-
-    // CMOV merge phase: commit each level's shadow result iff the effective
-    // (ANDed) condition holds. Straight-line, constant-time.
-    pb.li(rEff, 1);
-    for (usize w = 0; w < W; ++w) {
-      pb.ld(rCond, rSecrets, static_cast<i64>(w * 8));
-      pb.sne(rCond, rCond, isa::kRegZero);
-      pb.and_(rEff, rEff, rCond);
-      pb.li(rT0, static_cast<i64>(params[w].out_slot));
-      pb.ld(rT0, rT0, 0);                                  // shadow value
-      pb.ld(rT1, rResults, static_cast<i64>(w * 8));       // current result
-      pb.cmov(rT1, rEff, rT0);
-      pb.st(rT1, rResults, static_cast<i64>(w * 8));
-    }
-    pb.li(rT0, static_cast<i64>(params[W].out_slot));
-    pb.ld(rT0, rT0, 0);
-    pb.st(rT0, rResults, static_cast<i64>(W * 8));
-  } else {
-    // CTE: every level always executes; the guard is the running AND of the
-    // (bool-converted) secrets, as in Figure 2b's bA*bB chains.
-    pb.li(rGuardBool, 1);
-    for (usize w = 0; w < W; ++w) {
-      pb.ld(rCond, rSecrets, static_cast<i64>(w * 8));
-      pb.sne(rCond, rCond, isa::kRegZero);           // (bool) conversion
-      pb.and_(rGuardBool, rGuardBool, rCond);
-      pb.sub(rGuardMask, isa::kRegZero, rGuardBool);
-      pb.xori(rGuardNot, rGuardMask, -1);
-      emit_kernel_cte(pb, cfg.kind, params[w]);
-      // The masked kernel wrote its own out_slot; commit it to results.
-      pb.li(rT0, static_cast<i64>(params[w].out_slot));
-      pb.ld(rT0, rT0, 0);
-      pb.st(rT0, rResults, static_cast<i64>(w * 8));
-    }
-    // Workload W+1 is outside all conditionals: plain kernel.
-    emit_kernel(pb, cfg.kind, params[W]);
-    pb.li(rT0, static_cast<i64>(params[W].out_slot));
-    pb.ld(rT0, rT0, 0);
-    pb.st(rT0, rResults, static_cast<i64>(W * 8));
-  }
-
-  pb.addi(rIter, rIter, 1);
-  pb.li(rT0, static_cast<i64>(cfg.iterations));
-  pb.blt(rIter, rT0, loop);
-  pb.halt();
-
-  // --- Expected results --------------------------------------------------------
   BuiltMicrobench out;
-  out.results_addr = results_addr;
-  out.num_results = levels;
+  out.program = std::move(b.program);
+  out.results_addr = b.results_addr;
+  out.num_results = b.num_results;
+  out.expected_results = std::move(b.expected_results);
   out.effective_size = n;
-  const u64 checksum = expected_checksum(cfg.kind, n, input);
-  u64 eff = 1;
-  for (usize w = 0; w < W; ++w) {
-    eff &= static_cast<u64>(secret_words[w] != 0 ? 1 : 0);
-    out.expected_results.push_back(eff ? checksum : 0);
-  }
-  out.expected_results.push_back(checksum);  // level W+1: unconditional
-  out.program = pb.build();
   return out;
 }
 

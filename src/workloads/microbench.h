@@ -9,15 +9,10 @@
 //     workload_{W+1};
 //   }
 //
-// Three build variants:
+// Two build variants (see workloads/harness.h, which owns the nest):
 //   kSecure — sJMP-annotated, shadow-memory privatized, CMOV merge phase.
-//             Run in legacy mode it is the unprotected baseline; run in
-//             SeMPE mode it is the protected configuration (same binary —
-//             the backward-compatibility property).
-//   kCte    — the FaCT-style constant-time version: no secret branches at
-//             all; every level always executes with a propagated guard
-//             mask; kernels are the oblivious/masked variants. Note this is
-//             an *optimistic* CTE transform (linear guard chain rather than
+//   kCte    — the FaCT-style constant-time version. Note this is an
+//             *optimistic* CTE transform (linear guard chain rather than
 //             the canonical expansion of Fig. 2b), so CTE costs measured
 //             here are a lower bound — comparisons favor CTE.
 //
@@ -28,11 +23,10 @@
 #include <vector>
 
 #include "isa/program.h"
+#include "workloads/harness.h"
 #include "workloads/kernels.h"
 
 namespace sempe::workloads {
-
-enum class Variant : u8 { kSecure, kCte };
 
 struct MicrobenchConfig {
   Kind kind = Kind::kFibonacci;
@@ -53,5 +47,9 @@ struct BuiltMicrobench {
 };
 
 BuiltMicrobench build_microbench(const MicrobenchConfig& cfg);
+
+/// The harness-facing form of one microbenchmark kernel, for callers that
+/// compose their own HarnessConfig (the workload registry).
+KernelSpec microbench_kernel_spec(Kind kind, usize size, u64 input_seed);
 
 }  // namespace sempe::workloads

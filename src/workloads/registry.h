@@ -1,0 +1,106 @@
+// Pluggable workload registry: every workload source — the microbenchmark
+// kernels, djpeg, the synthetic kernel family, and anything a future PR
+// adds — implements one WorkloadGenerator interface and registers itself
+// by name, so callers resolve textual specs like
+//
+//   micro.quicksort?width=3&iters=10
+//   synthetic.ptr_chase?size=4096&stride=64
+//   djpeg?format=gif&pixels=524288
+//
+// into ready-to-run programs plus the metadata the evaluation pipeline
+// needs (results address, host-computed expected results). The spec
+// grammar is `name` or `name?key=val&key=val...`; generators reject
+// unknown keys so typos fail loudly.
+//
+// This mirrors codes-workload's uniform generator-method API: many
+// workload sources, one interface, one lookup path (SNIPPETS.md entry 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/program.h"
+#include "workloads/harness.h"
+
+namespace sempe::workloads {
+
+/// A parsed `name?key=val&...` workload spec. Parameter order is
+/// preserved, so a canonical spec round-trips through parse/to_string.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Throws SimError on grammar violations (empty name, missing '=',
+  /// empty key, duplicate key).
+  static WorkloadSpec parse(const std::string& text);
+  std::string to_string() const;
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  u64 get_u64(const std::string& key, u64 fallback) const;
+  /// Append key=value if the key is absent (canonicalization helper).
+  void set_default(const std::string& key, const std::string& value);
+  void set_default_u64(const std::string& key, u64 value);
+  /// Overwrite the key's value (append if absent), preserving position —
+  /// so a canonical spec echoes the value actually used.
+  void set(const std::string& key, const std::string& value);
+  /// Throws SimError if any parameter key is not in `allowed`.
+  void check_keys(std::initializer_list<const char*> allowed) const;
+};
+
+/// A resolved, runnable workload: the program plus the metadata the
+/// experiment drivers need to time it and check its results.
+struct BuiltWorkload {
+  isa::Program program;
+  std::string spec;  // canonical spec (name + every resolved parameter)
+  Addr results_addr = 0;
+  usize num_results = 0;
+  std::vector<u64> expected_results;  // host-computed mirror
+};
+
+/// One workload source. Implementations must be stateless: build() may be
+/// called concurrently from the batch runner's worker threads.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  virtual std::string name() const = 0;
+  /// One-line description incl. accepted parameter keys (for --list).
+  virtual std::string summary() const = 0;
+  /// Whether build(…, Variant::kCte) is meaningful for this source.
+  virtual bool has_cte_variant() const { return true; }
+  virtual BuiltWorkload build(const WorkloadSpec& spec,
+                              Variant variant) const = 0;
+};
+
+class WorkloadRegistry {
+ public:
+  /// The process-wide registry, with all built-in generators registered.
+  static WorkloadRegistry& instance();
+
+  /// Throws SimError on a duplicate name.
+  void add(std::unique_ptr<WorkloadGenerator> gen);
+  /// nullptr when no generator has that name.
+  const WorkloadGenerator* find(const std::string& name) const;
+  /// Throws SimError listing the registered names on a miss.
+  const WorkloadGenerator& resolve(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Parse `spec_text`, resolve the generator, build the variant.
+  BuiltWorkload build(const std::string& spec_text, Variant variant) const;
+
+ private:
+  WorkloadRegistry();
+  std::vector<std::unique_ptr<WorkloadGenerator>> gens_;
+};
+
+/// Shared by the built-in harnessed generators (micro.*, synthetic.*):
+/// parse the common harness keys width/iters/secrets, with `secrets` a
+/// 0/1 string ("101") or the shorthands "0"/"1" (all-false/all-true,
+/// the default).
+HarnessConfig harness_config_from_spec(const WorkloadSpec& spec,
+                                       Variant variant);
+
+}  // namespace sempe::workloads

@@ -105,6 +105,51 @@ TEST(BatchRunner, JsonIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(BatchRunner, JsonOpensWithMetadataHeader) {
+  const auto jobs = small_grid();
+  const auto points = sim::run_microbench_jobs(jobs, 2);
+  const std::string j = sim::microbench_json("header", jobs, points);
+  // The meta object precedes the points array and carries the schema
+  // version, experiment name, workload description, and mode list. The
+  // threads field is the constant 0 (thread-count invariant) — a real
+  // worker count here would defeat the byte-identity guarantee.
+  const auto meta_at = j.find("\"meta\": {");
+  const auto points_at = j.find("\"points\": [");
+  ASSERT_NE(meta_at, std::string::npos);
+  ASSERT_NE(points_at, std::string::npos);
+  EXPECT_LT(meta_at, points_at);
+  EXPECT_NE(j.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"experiment\": \"header\""), std::string::npos);
+  EXPECT_NE(j.find("\"workload\": \"microbench\""), std::string::npos);
+  EXPECT_NE(j.find("\"modes\": \"legacy,sempe,cte,ideal\""),
+            std::string::npos);
+  EXPECT_NE(j.find("\"threads\": 0"), std::string::npos);
+}
+
+TEST(BatchRunner, WorkloadJsonByteIdenticalAcrossThreadCountsInclHeader) {
+  sim::MicrobenchOptions opt;
+  const auto jobs = sim::workload_grid(
+      {"synthetic.stream?size=24&iters=2",
+       "synthetic.ilp?size=6&chains=2&depth=3&iters=2&width=2",
+       "micro.ones?size=8&iters=2"},
+      opt);
+  const auto p1 = sim::run_workload_jobs(jobs, 1);
+  const auto p4 = sim::run_workload_jobs(jobs, 4);
+  const std::string j1 = sim::workload_json("determinism", jobs, p1);
+  const std::string j4 = sim::workload_json("determinism", jobs, p4);
+  EXPECT_EQ(j1, j4);
+  // Header names the distinct generators of the sweep.
+  EXPECT_NE(
+      j1.find("\"workload\": \"synthetic.stream,synthetic.ilp,micro.ones\""),
+      std::string::npos);
+  for (const sim::WorkloadPoint& p : p1) {
+    EXPECT_TRUE(p.results_ok) << p.spec;
+    EXPECT_GT(p.baseline_cycles, 0u);
+    EXPECT_GT(p.sempe_cycles, 0u);
+    EXPECT_GT(p.cte_cycles, 0u);
+  }
+}
+
 TEST(BatchRunner, IdealStandaloneIsWidthPlusOneTimesSingleRun) {
   // The invariant from sim/experiment.cpp: ideal_standalone = (W+1) * t1,
   // where t1 is the legacy-mode run of the width-0 (single workload)

@@ -100,6 +100,19 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.size);
     });
 
+TEST(KernelFacts, OutOfRangeKindChecksInsteadOfFallingThrough) {
+  const Kind bad = static_cast<Kind>(99);
+  EXPECT_THROW(kind_name(bad), SimError);
+  EXPECT_THROW(kernel_default_size(bad), SimError);
+  EXPECT_THROW(kernel_input_words(bad, 4), SimError);
+  EXPECT_THROW(kernel_buf_words(bad, 4), SimError);
+  EXPECT_THROW(kernel_aux_words(bad, 4), SimError);
+  EXPECT_THROW(expected_checksum(bad, 4, {}), SimError);
+  ProgramBuilder pb;
+  EXPECT_THROW(emit_kernel(pb, bad, {}), SimError);
+  EXPECT_THROW(emit_kernel_cte(pb, bad, {}), SimError);
+}
+
 TEST(KernelFacts, QueensCountsAreClassic) {
   // Independent cross-check of the host mirror itself.
   EXPECT_EQ(expected_checksum(Kind::kQueens, 4, {}), 2u);

@@ -1,0 +1,192 @@
+// The workload registry: spec grammar, name resolution, and the
+// resolve/round-trip property of every registered generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+#include "workloads/registry.h"
+
+namespace sempe::workloads {
+namespace {
+
+WorkloadRegistry& reg() { return WorkloadRegistry::instance(); }
+
+TEST(WorkloadSpec, ParsesNameOnly) {
+  const WorkloadSpec s = WorkloadSpec::parse("djpeg");
+  EXPECT_EQ(s.name, "djpeg");
+  EXPECT_TRUE(s.params.empty());
+  EXPECT_EQ(s.to_string(), "djpeg");
+}
+
+TEST(WorkloadSpec, ParsesParamsInOrder) {
+  const WorkloadSpec s =
+      WorkloadSpec::parse("synthetic.ptr_chase?size=4096&stride=64");
+  EXPECT_EQ(s.name, "synthetic.ptr_chase");
+  ASSERT_EQ(s.params.size(), 2u);
+  EXPECT_EQ(s.params[0].first, "size");
+  EXPECT_EQ(s.params[0].second, "4096");
+  EXPECT_EQ(s.get_u64("stride", 0), 64u);
+  EXPECT_EQ(s.to_string(), "synthetic.ptr_chase?size=4096&stride=64");
+}
+
+TEST(WorkloadSpec, RejectsBadGrammar) {
+  EXPECT_THROW(WorkloadSpec::parse(""), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("?size=1"), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("name?"), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("name?size"), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("name?=1"), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("name?size=1&size=2"), SimError);
+}
+
+TEST(WorkloadSpec, RejectsNonNumericValueOnNumericGet) {
+  const WorkloadSpec s = WorkloadSpec::parse("x?size=abc");
+  EXPECT_THROW(s.get_u64("size", 0), SimError);
+  EXPECT_EQ(s.get_u64("absent", 7), 7u);
+  // Negative values must not wrap through strtoull to huge u64s.
+  EXPECT_THROW(WorkloadSpec::parse("x?n=-1").get_u64("n", 0), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("x?n=+1").get_u64("n", 0), SimError);
+  EXPECT_THROW(WorkloadSpec::parse("x?n=99999999999999999999").get_u64("n", 0),
+               SimError);
+}
+
+TEST(WorkloadRegistry, OutOfRangeItersRejectedWithSpecMessage) {
+  EXPECT_THROW(reg().build("micro.ones?iters=-1", Variant::kSecure), SimError);
+  EXPECT_THROW(reg().build("micro.ones?iters=0", Variant::kSecure), SimError);
+  EXPECT_THROW(reg().build("micro.ones?iters=4294967296", Variant::kSecure),
+               SimError);
+}
+
+TEST(WorkloadRegistry, HugeWidthRejectedBeforeSecretsAllocation) {
+  // Must be a clean SimError, not std::bad_alloc from a ~2^50-element
+  // secrets vector.
+  EXPECT_THROW(
+      reg().build("micro.ones?width=999999999999999", Variant::kSecure),
+      SimError);
+  EXPECT_THROW(reg().build("micro.ones?width=31", Variant::kSecure), SimError);
+}
+
+TEST(WorkloadRegistry, ExplicitZeroSizeResolvesToDefaultNotInfiniteLoop) {
+  // size=0 must mean "use the default" (and the canonical spec must echo
+  // the resolved value), never reach the emitters as a literal 0 trip
+  // count — that would underflow the countdown loops into ~2^64 laps.
+  const BuiltWorkload m =
+      reg().build("micro.ones?size=0&iters=2", Variant::kSecure);
+  EXPECT_NE(m.spec.find("size=256"), std::string::npos) << m.spec;
+  const BuiltWorkload s =
+      reg().build("synthetic.ptr_chase?size=0&steps=0&iters=2",
+                  Variant::kSecure);
+  EXPECT_NE(s.spec.find("size=256"), std::string::npos) << s.spec;
+  EXPECT_NE(s.spec.find("steps=513"), std::string::npos) << s.spec;
+  EXPECT_THROW(reg().build("micro.ones?size=1048577", Variant::kSecure),
+               SimError);
+}
+
+TEST(WorkloadRegistry, TakenRatioNotTruncatedBeforeRangeCheck) {
+  // 2^32 + 1000 would wrap to 1000 under a u32 narrowing and silently run
+  // as a different workload than the spec records.
+  EXPECT_THROW(
+      reg().build("synthetic.cond_branch?taken=4294968296", Variant::kSecure),
+      SimError);
+  EXPECT_THROW(
+      reg().build("synthetic.cond_branch?taken=1001", Variant::kSecure),
+      SimError);
+}
+
+TEST(WorkloadRegistry, AllBuiltinsRegistered) {
+  const std::vector<std::string> expected = {
+      "djpeg",
+      "micro.fibonacci",
+      "micro.ones",
+      "micro.queens",
+      "micro.quicksort",
+      "synthetic.cond_branch",
+      "synthetic.ibr",
+      "synthetic.ilp",
+      "synthetic.ptr_chase",
+      "synthetic.secret_mix",
+      "synthetic.stream",
+  };
+  EXPECT_EQ(reg().names(), expected);
+}
+
+TEST(WorkloadRegistry, UnknownNameThrowsListingRegistered) {
+  try {
+    reg().resolve("nope");
+    FAIL() << "resolve() should have thrown";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload 'nope'"), std::string::npos);
+    EXPECT_NE(msg.find("synthetic.ptr_chase"), std::string::npos);
+  }
+}
+
+TEST(WorkloadRegistry, UnknownParameterKeyThrows) {
+  EXPECT_THROW(reg().build("micro.fibonacci?bogus=1", Variant::kSecure),
+               SimError);
+  EXPECT_THROW(reg().build("synthetic.stream?stride=64", Variant::kSecure),
+               SimError);
+}
+
+TEST(WorkloadRegistry, DuplicateRegistrationThrows) {
+  class Dup final : public WorkloadGenerator {
+   public:
+    std::string name() const override { return "djpeg"; }
+    std::string summary() const override { return ""; }
+    BuiltWorkload build(const WorkloadSpec&, Variant) const override {
+      return {};
+    }
+  };
+  EXPECT_THROW(reg().add(std::make_unique<Dup>()), SimError);
+}
+
+TEST(WorkloadRegistry, DjpegRejectsCteVariant) {
+  EXPECT_FALSE(reg().resolve("djpeg").has_cte_variant());
+  EXPECT_THROW(reg().build("djpeg", Variant::kCte), SimError);
+}
+
+TEST(WorkloadRegistry, BadSecretsStringsThrow) {
+  EXPECT_THROW(reg().build("micro.ones?secrets=2", Variant::kSecure),
+               SimError);
+  EXPECT_THROW(
+      reg().build("micro.ones?width=3&secrets=10", Variant::kSecure),
+      SimError);
+}
+
+// The round-trip property for every registered generator: building from
+// the bare name yields a canonical spec with every parameter resolved;
+// that spec parses, re-serializes unchanged, and rebuilds into the same
+// workload.
+TEST(WorkloadRegistry, EveryGeneratorRoundTripsItsCanonicalSpec) {
+  for (const std::string& name : reg().names()) {
+    // Small overrides so the heavyweight generators stay test-sized.
+    std::string seed_spec = name;
+    if (name == "djpeg") seed_spec += "?scale=64";
+    else if (name.rfind("micro.", 0) == 0) seed_spec += "?size=6&iters=2";
+    else seed_spec += "?size=16&iters=2";
+
+    const BuiltWorkload a = reg().build(seed_spec, Variant::kSecure);
+    EXPECT_NE(a.spec, seed_spec) << name << ": defaults were not resolved";
+
+    const WorkloadSpec parsed = WorkloadSpec::parse(a.spec);
+    EXPECT_EQ(parsed.name, name);
+    EXPECT_EQ(parsed.to_string(), a.spec) << name;
+
+    const BuiltWorkload b = reg().build(a.spec, Variant::kSecure);
+    EXPECT_EQ(b.spec, a.spec) << name;
+    EXPECT_EQ(b.program.num_instructions(), a.program.num_instructions())
+        << name;
+    EXPECT_EQ(b.program.code(), a.program.code()) << name;
+    EXPECT_EQ(b.results_addr, a.results_addr) << name;
+    EXPECT_EQ(b.expected_results, a.expected_results) << name;
+    ASSERT_GT(a.num_results, 0u) << name;
+
+    // The canonical spec runs, and its results match the host mirror.
+    const auto r = sim::run_functional(a.program, cpu::ExecMode::kSempe, {},
+                                       a.results_addr, a.num_results);
+    EXPECT_EQ(r.probed, a.expected_results) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sempe::workloads
