@@ -56,6 +56,8 @@ int main(int argc, char** argv) {
                  "synthetic  %-48s  SeMPE %6.2fx   CTE %7.2fx   %s\n",
                  pt.spec.c_str(), pt.sempe_slowdown(), pt.cte_slowdown(),
                  pt.results_ok ? "ok" : "RESULTS MISMATCH");
+    if (!pt.results_ok)
+      std::fprintf(out, "  !! %s\n", pt.mismatch_summary().c_str());
   }
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,

@@ -7,18 +7,22 @@
 //   build/examples/sempe_run --workload=SPEC [--mode=sempe|legacy]
 //                                            [--variant=secure|cte]
 //                                            [--timeline] [--trace]
+//   build/examples/sempe_run --audit=SPEC    [--samples=N] [--seed=N]
 //   build/examples/sempe_run --list-workloads
 //
 // FILE.s is assembled (see isa/assembler.h for the grammar), statically
 // verified, and run on the selected core. --workload=SPEC instead resolves
 // a `name?key=val&...` spec (e.g. synthetic.ptr_chase?size=4096&stride=64)
 // through workloads/registry.h, runs it, and checks the merged results
-// against the host-computed expectations. --timeline dumps the first 64
-// rows of the pipeline schedule; --trace prints the observable-channel
-// summary.
+// against the host-computed expectations. --audit=SPEC sweeps the spec
+// over a sampled secret space and reports the per-channel
+// indistinguishability verdict for each execution mode (security/audit.h).
+// --timeline dumps the first 64 rows of the pipeline schedule; --trace
+// prints the observable-channel summary.
 //
 // A ready-made assembly input lives at examples/demo.s.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -26,6 +30,7 @@
 
 #include "core/region_verifier.h"
 #include "isa/assembler.h"
+#include "security/audit.h"
 #include "sim/simulator.h"
 #include "sim/timeline.h"
 #include "workloads/registry.h"
@@ -40,11 +45,12 @@ void print_usage(const char* argv0) {
                "[--no-verify] [--trace]\n"
                "       %s --workload=SPEC [--mode=sempe|legacy] "
                "[--variant=secure|cte] [--timeline] [--trace]\n"
+               "       %s --audit=SPEC    [--samples=N] [--seed=N]\n"
                "       %s --list-workloads\n"
                "a ready-made assembly input lives at examples/demo.s, e.g.:\n"
                "  %s examples/demo.s --timeline\n"
                "registered workloads (SPEC is name or name?key=val&...):\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   for (const std::string& n : workloads::WorkloadRegistry::instance().names())
     std::fprintf(stderr, "  %s\n", n.c_str());
 }
@@ -113,11 +119,39 @@ int run_workload(const std::string& spec_text, cpu::ExecMode mode,
   std::printf("\nexpected:     ");
   for (const u64 v : w.expected_results)
     std::printf("%016llx ", (unsigned long long)v);
-  std::printf("\ncheck:        %s\n", ok ? "OK" : "MISMATCH");
+  if (ok) {
+    std::printf("\ncheck:        OK\n");
+  } else {
+    std::printf("\ncheck:        MISMATCH (%s mode, %s variant): %s\n",
+                mode == cpu::ExecMode::kSempe ? "sempe" : "legacy",
+                variant == workloads::Variant::kCte ? "cte" : "secure",
+                sim::first_result_mismatch(r.probed, w.expected_results)
+                    .c_str());
+  }
 
   if (trace) print_trace(r);
   if (timeline)
     std::printf("\n%s", sim::capture_timeline(w.program, mode, 64).c_str());
+  return ok ? 0 : 3;
+}
+
+int run_audit(const std::string& spec_text, usize samples, u64 seed) {
+  security::AuditOptions opt;
+  opt.samples = samples;
+  opt.seed = seed;
+  const security::WorkloadAudit audit =
+      security::audit_workload(spec_text, opt);
+  std::printf("%s", audit.to_string().c_str());
+  // Gate on the results of EVERY mode, like bench_leakage: a legacy/CTE
+  // run that went functionally wrong must not exit clean.
+  bool results_ok = true;
+  for (const security::ModeAudit& m : audit.modes)
+    results_ok = results_ok && m.results_ok;
+  const bool ok = audit.sempe_closed() && results_ok;
+  std::printf("verdict: %s\n",
+              ok ? "SeMPE closes every observed channel"
+                 : (results_ok ? "SeMPE LEAKS — see above"
+                               : "RESULTS MISMATCH — see above"));
   return ok ? 0 : 3;
 }
 
@@ -163,17 +197,36 @@ int run_assembly(const char* path, cpu::ExecMode mode, bool timeline,
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
-  std::string workload;
+  std::string workload, audit;
   cpu::ExecMode mode = cpu::ExecMode::kSempe;
   workloads::Variant variant = workloads::Variant::kSecure;
   bool timeline = false, verify = true, trace = false, list = false;
-  bool variant_set = false, no_verify_set = false;
+  bool variant_set = false, no_verify_set = false, mode_set = false;
+  usize samples = 8;
+  u64 audit_seed = 1;
+  bool samples_set = false, seed_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (!std::strcmp(a, "--mode=legacy")) mode = cpu::ExecMode::kLegacy;
-    else if (!std::strcmp(a, "--mode=sempe")) mode = cpu::ExecMode::kSempe;
-    else if (!std::strcmp(a, "--variant=secure")) {
+    if (!std::strcmp(a, "--mode=legacy")) {
+      mode = cpu::ExecMode::kLegacy;
+      mode_set = true;
+    } else if (!std::strcmp(a, "--mode=sempe")) {
+      mode = cpu::ExecMode::kSempe;
+      mode_set = true;
+    }
+    else if (!std::strncmp(a, "--audit=", 8)) audit = a + 8;
+    else if (!std::strncmp(a, "--samples=", 10)) {
+      samples = static_cast<usize>(std::strtoull(a + 10, nullptr, 10));
+      samples_set = true;
+      if (samples == 0) {
+        std::fprintf(stderr, "--samples must be at least 1\n");
+        return 1;
+      }
+    } else if (!std::strncmp(a, "--seed=", 7)) {
+      audit_seed = std::strtoull(a + 7, nullptr, 10);
+      seed_set = true;
+    } else if (!std::strcmp(a, "--variant=secure")) {
       variant = workloads::Variant::kSecure;
       variant_set = true;
     } else if (!std::strcmp(a, "--variant=cte")) {
@@ -206,12 +259,27 @@ int main(int argc, char** argv) {
     }
     return list_workloads();
   }
-  if ((path == nullptr) == workload.empty()) {
-    // Neither or both of FILE.s / --workload: a usage error either way.
+  const int inputs =
+      (path != nullptr ? 1 : 0) + (!workload.empty() ? 1 : 0) +
+      (!audit.empty() ? 1 : 0);
+  if (inputs != 1) {
+    // Exactly one of FILE.s / --workload / --audit; anything else is a
+    // usage error.
     print_usage(argv[0]);
     return 1;
   }
   // Refuse flags that would otherwise be silently ignored in this mode.
+  if (audit.empty() && (samples_set || seed_set)) {
+    std::fprintf(stderr, "--samples/--seed only apply to --audit\n");
+    return 1;
+  }
+  if (!audit.empty() &&
+      (timeline || trace || variant_set || no_verify_set || mode_set)) {
+    std::fprintf(stderr,
+                 "--audit runs its own mode matrix; --mode/--timeline/"
+                 "--trace/--variant/--no-verify do not apply\n");
+    return 1;
+  }
   if (!workload.empty() && no_verify_set) {
     std::fprintf(stderr,
                  "--no-verify only applies to assembly inputs (generated "
@@ -226,6 +294,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!audit.empty()) return run_audit(audit, samples, audit_seed);
     if (!workload.empty())
       return run_workload(workload, mode, variant, timeline, trace);
     return run_assembly(path, mode, timeline, verify, trace);

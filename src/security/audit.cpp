@@ -1,0 +1,208 @@
+#include "security/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workloads/registry.h"
+
+namespace sempe::security {
+
+bool ModeAudit::indistinguishable() const {
+  for (const ChannelVerdict& v : channels)
+    if (!v.closed()) return false;
+  return true;
+}
+
+double ModeAudit::leaked_bits() const {
+  double bits = 0.0;
+  for (const ChannelVerdict& v : channels)
+    bits = std::max(bits, v.leaked_bits);
+  return bits;
+}
+
+std::string ModeAudit::open_channels() const {
+  std::string out;
+  for (const ChannelVerdict& v : channels) {
+    if (v.closed()) continue;
+    if (!out.empty()) out += ',';
+    out += channel_name(v.channel);
+  }
+  return out;
+}
+
+std::string ModeAudit::first_divergence() const {
+  for (const ChannelVerdict& v : channels)
+    if (!v.closed()) return v.first_divergence;
+  return "";
+}
+
+const ModeAudit* WorkloadAudit::mode(const std::string& name) const {
+  for (const ModeAudit& m : modes)
+    if (m.mode == name) return &m;
+  return nullptr;
+}
+
+bool WorkloadAudit::sempe_closed() const {
+  const ModeAudit* m = mode("sempe");
+  return m != nullptr && m->results_ok && m->indistinguishable();
+}
+
+std::string WorkloadAudit::to_string() const {
+  std::ostringstream os;
+  os << "leakage audit: " << spec << "\n  secret width " << secret_width
+     << ", " << masks.size() << " secret vector(s)\n";
+  for (const ModeAudit& m : modes) {
+    os << "  " << m.mode;
+    for (usize pad = m.mode.size(); pad < 6; ++pad) os << ' ';
+    if (m.indistinguishable()) {
+      os << " indistinguishable";
+    } else {
+      std::ostringstream bits;
+      bits.precision(2);
+      bits << std::fixed << m.leaked_bits();
+      os << " DISTINGUISHABLE (" << bits.str() << " bits) via "
+         << m.open_channels() << " — " << m.first_divergence();
+    }
+    os << (m.results_ok ? "; results ok" : "; RESULTS MISMATCH: " + m.mismatch)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::vector<u64> sample_secret_masks(usize width, usize samples, u64 seed) {
+  SEMPE_CHECK_MSG(samples >= 1, "audit needs at least one secret sample");
+  if (width == 0) return {0};
+  const u64 all_ones =
+      width >= 64 ? ~0ull : ((1ull << width) - 1);
+  if (width < 64 && (1ull << width) <= samples) {
+    std::vector<u64> masks(1ull << width);
+    for (u64 m = 0; m <= all_ones; ++m) masks[m] = m;
+    return masks;
+  }
+  // Sampled: always include the corners the legacy core separates most
+  // easily (no levels vs all levels executed), then draw distinct masks.
+  std::vector<u64> masks = {0, all_ones};
+  if (samples == 1) masks.resize(1);
+  Rng rng(seed ? seed : 1);
+  while (masks.size() < samples) {
+    const u64 m = rng.next_u64() & all_ones;
+    if (std::find(masks.begin(), masks.end(), m) == masks.end())
+      masks.push_back(m);
+  }
+  return masks;
+}
+
+WorkloadAudit audit_workload(const std::string& spec_text,
+                             const AuditOptions& opt) {
+  const workloads::WorkloadSpec parsed =
+      workloads::WorkloadSpec::parse(spec_text);
+  const workloads::WorkloadGenerator& gen =
+      workloads::WorkloadRegistry::instance().resolve(parsed.name);
+
+  WorkloadAudit audit;
+  audit.secret_width = gen.secret_width(parsed);
+  if (audit.secret_width > 0 && opt.samples < 2)
+    throw SimError("audit of '" + parsed.name + "' (" +
+                   std::to_string(audit.secret_width) +
+                   " secret bits) needs samples >= 2 — a single secret "
+                   "vector compares nothing and every channel would pass "
+                   "vacuously");
+  audit.masks = sample_secret_masks(audit.secret_width, opt.samples, opt.seed);
+
+  struct ModeRun {
+    const char* name;
+    workloads::Variant variant;
+    cpu::ExecMode mode;
+  };
+  std::vector<ModeRun> mode_runs = {
+      {"legacy", workloads::Variant::kSecure, cpu::ExecMode::kLegacy},
+      {"sempe", workloads::Variant::kSecure, cpu::ExecMode::kSempe}};
+  if (opt.include_cte && gen.has_cte_variant())
+    mode_runs.push_back(
+        {"cte", workloads::Variant::kCte, cpu::ExecMode::kLegacy});
+
+  std::vector<ModeAudit> mode_audits(mode_runs.size());
+  std::vector<std::vector<ObservationTrace>> mode_traces(mode_runs.size());
+  for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+    mode_audits[mi].mode = mode_runs[mi].name;
+    mode_traces[mi].reserve(audit.masks.size());
+  }
+
+  // Mask-major: each variant is built once per secret vector and reused by
+  // every mode that runs it (legacy and sempe share the secure binary).
+  for (const u64 mask : audit.masks) {
+    workloads::WorkloadSpec s = parsed;
+    if (audit.secret_width > 0)
+      s.set("secrets", workloads::secrets_literal(mask, audit.secret_width));
+    const workloads::BuiltWorkload secure =
+        gen.build(s, workloads::Variant::kSecure);
+    workloads::BuiltWorkload cte;
+    if (mode_runs.size() > 2) cte = gen.build(s, workloads::Variant::kCte);
+    if (audit.spec.empty()) {
+      workloads::WorkloadSpec canon =
+          workloads::WorkloadSpec::parse(secure.spec);
+      if (audit.secret_width > 0) canon.set("secrets", "swept");
+      audit.spec = canon.to_string();
+    }
+
+    for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+      const workloads::BuiltWorkload& b =
+          mode_runs[mi].variant == workloads::Variant::kCte ? cte : secure;
+      sim::RunConfig rc;
+      rc.mode = mode_runs[mi].mode;
+      rc.record_observations = true;
+      rc.probe_addr = b.results_addr;
+      rc.probe_words = b.num_results;
+      const sim::RunResult r = sim::run(b.program, rc);
+      mode_traces[mi].push_back(r.trace);
+
+      ModeAudit& ma = mode_audits[mi];
+      if (ma.results_ok && r.probed != b.expected_results) {
+        ma.results_ok = false;
+        ma.mismatch =
+            "secrets " +
+            workloads::secrets_literal(mask, audit.secret_width) + ": " +
+            sim::first_result_mismatch(r.probed, b.expected_results);
+      }
+    }
+  }
+
+  for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+    ModeAudit& ma = mode_audits[mi];
+    const std::vector<ObservationTrace>& traces = mode_traces[mi];
+    ma.samples = traces.size();
+
+    for (usize ci = 0; ci < kNumChannels; ++ci) {
+      const Channel c = static_cast<Channel>(ci);
+      if (traces.empty() || !traces.front().has(c)) continue;
+      const ChannelEstimate e = estimate_channel(traces, c);
+      ChannelVerdict v;
+      v.channel = c;
+      v.num_classes = e.num_classes;
+      v.leaked_bits = e.leaked_bits();
+      if (!e.closed()) {
+        // Some later trace must differ from the first (one class otherwise).
+        for (usize j = 1; j < traces.size(); ++j) {
+          if (channel_equal(traces.front(), traces[j], c)) continue;
+          std::ostringstream os;
+          os << "secrets "
+             << workloads::secrets_literal(audit.masks.front(),
+                                           audit.secret_width)
+             << " vs "
+             << workloads::secrets_literal(audit.masks[j],
+                                           audit.secret_width)
+             << ": " << channel_divergence(traces.front(), traces[j], c);
+          v.first_divergence = os.str();
+          break;
+        }
+      }
+      ma.channels.push_back(v);
+    }
+    audit.modes.push_back(std::move(ma));
+  }
+  return audit;
+}
+
+}  // namespace sempe::security

@@ -1,0 +1,92 @@
+// Leakage audit: the end-to-end check of the paper's security claim.
+//
+// For one registry-resolved workload spec, the audit sweeps a sample of
+// the 2^W secret space (exhaustive when it fits), runs every sample under
+// each execution mode — the secure binary on the legacy core (the
+// vulnerable baseline), the same binary on the SeMPE core, and the CTE
+// binary on the legacy core when the generator has one — with observation
+// recording on, and partitions the traces per attacker channel
+// (security/channel.h). The verdict per (mode, channel) is the number of
+// indistinguishability classes: 1 class = the channel is closed, >1 = the
+// attacker can tell secrets apart (log2(#classes) bits per observation),
+// with the first divergence pinned down for debugging.
+//
+// Under SeMPE every channel must stay closed for every registered
+// workload; under legacy the secret-dependent ones must NOT be — an audit
+// that cannot re-derive the vulnerability would prove nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "security/channel.h"
+#include "security/observation.h"
+
+namespace sempe::security {
+
+struct AuditOptions {
+  usize samples = 8;  // secret vectors per workload (exhaustive when
+                      // 2^width <= samples); must be >= 2 for workloads
+                      // with a secret dimension — one vector compares
+                      // nothing and would pass vacuously
+  u64 seed = 1;       // sampler seed for spaces larger than `samples`
+  bool include_cte = true;  // audit the CTE binary too, when one exists
+};
+
+/// Verdict for one attacker channel of one execution mode.
+struct ChannelVerdict {
+  Channel channel{};
+  usize num_classes = 0;        // indistinguishability classes over samples
+  double leaked_bits = 0.0;     // log2(num_classes)
+  std::string first_divergence; // "secrets 0b.. vs 0b.. — <detail>"; empty
+                                // when closed
+  bool closed() const { return num_classes <= 1; }
+};
+
+/// All channels of one execution mode, plus the functional cross-check.
+struct ModeAudit {
+  std::string mode;     // "legacy" | "sempe" | "cte"
+  usize samples = 0;
+  bool results_ok = true;   // every sample's merged results matched the
+                            // host-computed expectations
+  std::string mismatch;     // first result mismatch, when !results_ok
+  std::vector<ChannelVerdict> channels;  // one per recorded channel
+
+  /// True iff every observed channel is closed across the secret sweep.
+  bool indistinguishable() const;
+  /// The attacker's best channel: max leaked_bits over channels.
+  double leaked_bits() const;
+  /// Open (leaking) channel names, comma-joined ("" when none).
+  std::string open_channels() const;
+  /// First open channel's divergence detail ("" when indistinguishable).
+  std::string first_divergence() const;
+};
+
+/// The audit of one workload spec across the mode matrix.
+struct WorkloadAudit {
+  std::string spec;        // canonical spec, secrets key shown as "swept"
+  usize secret_width = 0;  // swept secret bits (0: no secret dimension)
+  std::vector<u64> masks;  // the sampled secret vectors
+  std::vector<ModeAudit> modes;
+
+  /// nullptr when the mode was not audited (e.g. "cte" without a variant).
+  const ModeAudit* mode(const std::string& name) const;
+  /// The headline SeMPE property: the sempe mode exists, its results
+  /// check out, and every channel is closed.
+  bool sempe_closed() const;
+  /// Human-readable multi-line report.
+  std::string to_string() const;
+};
+
+/// Deterministically choose `samples` distinct secret masks in
+/// [0, 2^width): exhaustive enumeration when the space fits, otherwise a
+/// seed-driven sample that always includes the all-zero and all-one
+/// corners (the extremes legacy timing separates most easily).
+std::vector<u64> sample_secret_masks(usize width, usize samples, u64 seed);
+
+/// Run the full audit for one `name?key=val&...` spec. Throws SimError on
+/// unknown workloads/parameters, like the registry build path.
+WorkloadAudit audit_workload(const std::string& spec_text,
+                             const AuditOptions& opt = {});
+
+}  // namespace sempe::security

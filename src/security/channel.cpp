@@ -8,23 +8,51 @@ double ChannelEstimate::leaked_bits() const {
   return num_classes <= 1 ? 0.0 : std::log2(static_cast<double>(num_classes));
 }
 
-ChannelEstimate estimate_channel(
-    const std::vector<ObservationTrace>& traces) {
+namespace {
+
+template <typename Same>
+ChannelEstimate partition(const std::vector<const ObservationTrace*>& traces,
+                          Same&& same) {
   ChannelEstimate e;
   e.num_traces = traces.size();
   std::vector<const ObservationTrace*> reps;
-  for (const ObservationTrace& t : traces) {
+  for (const ObservationTrace* t : traces) {
     bool found = false;
     for (const ObservationTrace* r : reps) {
-      if (!compare(*r, t).distinguishable) {
+      if (same(*r, *t)) {
         found = true;
         break;
       }
     }
-    if (!found) reps.push_back(&t);
+    if (!found) reps.push_back(t);
   }
   e.num_classes = reps.size();
   return e;
+}
+
+}  // namespace
+
+ChannelEstimate estimate_channel(
+    const std::vector<ObservationTrace>& traces) {
+  std::vector<const ObservationTrace*> ptrs;
+  ptrs.reserve(traces.size());
+  for (const ObservationTrace& t : traces) ptrs.push_back(&t);
+  return partition(ptrs, [](const ObservationTrace& a,
+                            const ObservationTrace& b) {
+    return !compare(a, b).distinguishable;
+  });
+}
+
+ChannelEstimate estimate_channel(const std::vector<ObservationTrace>& traces,
+                                 Channel channel) {
+  std::vector<const ObservationTrace*> ptrs;
+  ptrs.reserve(traces.size());
+  for (const ObservationTrace& t : traces)
+    if (t.has(channel)) ptrs.push_back(&t);
+  return partition(ptrs, [channel](const ObservationTrace& a,
+                                   const ObservationTrace& b) {
+    return channel_equal(a, b, channel);
+  });
 }
 
 }  // namespace sempe::security

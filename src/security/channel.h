@@ -26,4 +26,10 @@ struct ChannelEstimate {
 /// Partition traces into indistinguishability classes (pairwise compare()).
 ChannelEstimate estimate_channel(const std::vector<ObservationTrace>& traces);
 
+/// Partition on a single channel only: what the attacker learns when this
+/// is the one channel they can observe. Traces with the channel unrecorded
+/// contribute nothing (they carry no observation on it).
+ChannelEstimate estimate_channel(const std::vector<ObservationTrace>& traces,
+                                 Channel channel);
+
 }  // namespace sempe::security

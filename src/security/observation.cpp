@@ -1,10 +1,26 @@
 #include "security/observation.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace sempe::security {
 
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kTiming: return "timing";
+    case Channel::kFetch: return "instruction-fetch";
+    case Channel::kMemory: return "memory-address";
+    case Channel::kPredictor: return "branch-predictor";
+    case Channel::kCache: return "cache-state";
+  }
+  SEMPE_CHECK_MSG(false, "bad Channel value "
+                             << static_cast<unsigned>(static_cast<u8>(c)));
+  std::abort();  // unreachable
+}
+
 void ObservationRecorder::attach(cpu::FunctionalCore& core) {
+  trace_.mark(Channel::kFetch);
+  trace_.mark(Channel::kMemory);
   core.on_fetch = [this](Addr pc) {
     const Addr line = pc & line_mask_;
     trace_.fetch_hash = ObservationTrace::fnv(trace_.fetch_hash, line);
@@ -22,47 +38,140 @@ void ObservationRecorder::attach(cpu::FunctionalCore& core) {
   };
 }
 
+bool channel_equal(const ObservationTrace& a, const ObservationTrace& b,
+                   Channel c) {
+  switch (c) {
+    case Channel::kTiming:
+      return a.total_cycles == b.total_cycles;
+    case Channel::kFetch:
+      return a.fetch_hash == b.fetch_hash && a.fetch_count == b.fetch_count;
+    case Channel::kMemory:
+      return a.mem_hash == b.mem_hash && a.mem_count == b.mem_count;
+    case Channel::kPredictor:
+      return a.predictor_digest == b.predictor_digest;
+    case Channel::kCache:
+      return a.cache_digest == b.cache_digest;
+  }
+  channel_name(c);  // CHECK-fails on out-of-range values
+  std::abort();     // unreachable
+}
+
+namespace {
+
+/// First diverging fetch-prefix event, "" when the common prefix matches.
+std::string fetch_prefix_divergence(const ObservationTrace& a,
+                                    const ObservationTrace& b) {
+  std::ostringstream os;
+  for (usize i = 0; i < a.fetch_prefix.size() && i < b.fetch_prefix.size();
+       ++i) {
+    if (a.fetch_prefix[i] != b.fetch_prefix[i]) {
+      os << "first fetch divergence at event " << i << ": 0x" << std::hex
+         << a.fetch_prefix[i] << " vs 0x" << b.fetch_prefix[i];
+      break;
+    }
+  }
+  return os.str();
+}
+
+/// First diverging memory-prefix event, "" when the common prefix matches.
+std::string mem_prefix_divergence(const ObservationTrace& a,
+                                  const ObservationTrace& b) {
+  std::ostringstream os;
+  for (usize i = 0; i < a.mem_prefix.size() && i < b.mem_prefix.size(); ++i) {
+    if (a.mem_prefix[i] != b.mem_prefix[i]) {
+      os << "first memory divergence at event " << i << ": 0x" << std::hex
+         << (a.mem_prefix[i] >> 1)
+         << (a.mem_prefix[i] & 1 ? " (store)" : " (load)") << " vs 0x"
+         << (b.mem_prefix[i] >> 1)
+         << (b.mem_prefix[i] & 1 ? " (store)" : " (load)");
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string channel_divergence(const ObservationTrace& a,
+                               const ObservationTrace& b, Channel c) {
+  if (channel_equal(a, b, c)) return "";
+  std::ostringstream os;
+  switch (c) {
+    case Channel::kTiming:
+      os << "cycles " << a.total_cycles << " vs " << b.total_cycles;
+      break;
+    case Channel::kFetch: {
+      const std::string pre = fetch_prefix_divergence(a, b);
+      if (!pre.empty()) return pre;
+      if (a.fetch_count != b.fetch_count) {
+        os << "fetch counts " << a.fetch_count << " vs " << b.fetch_count
+           << " (divergence past the recorded prefix)";
+      } else {
+        os << "fetch hashes 0x" << std::hex << a.fetch_hash << " vs 0x"
+           << b.fetch_hash << std::dec
+           << " (divergence past the recorded prefix)";
+      }
+      break;
+    }
+    case Channel::kMemory: {
+      const std::string pre = mem_prefix_divergence(a, b);
+      if (!pre.empty()) return pre;
+      if (a.mem_count != b.mem_count) {
+        os << "memory counts " << a.mem_count << " vs " << b.mem_count
+           << " (divergence past the recorded prefix)";
+      } else {
+        os << "memory hashes 0x" << std::hex << a.mem_hash << " vs 0x"
+           << b.mem_hash << std::dec
+           << " (divergence past the recorded prefix)";
+      }
+      break;
+    }
+    case Channel::kPredictor:
+      os << "predictor digest 0x" << std::hex << a.predictor_digest << " vs 0x"
+         << b.predictor_digest;
+      break;
+    case Channel::kCache:
+      os << "cache digest 0x" << std::hex << a.cache_digest << " vs 0x"
+         << b.cache_digest;
+      break;
+  }
+  return os.str();
+}
+
 Distinguisher compare(const ObservationTrace& a, const ObservationTrace& b) {
   Distinguisher d;
-  auto flag = [&d](const char* name) {
+  std::vector<Channel> diverged;
+  if (a.recorded != b.recorded) {
     d.distinguishable = true;
-    d.channels.push_back(name);
-  };
-
-  if (a.total_cycles != b.total_cycles) flag("timing");
-  if (a.fetch_hash != b.fetch_hash || a.fetch_count != b.fetch_count)
-    flag("instruction-fetch");
-  if (a.mem_hash != b.mem_hash || a.mem_count != b.mem_count)
-    flag("memory-address");
-  if (a.predictor_digest != b.predictor_digest) flag("branch-predictor");
-  if (a.cache_digest != b.cache_digest) flag("cache-state");
+    d.channels.push_back("recorded-set");
+  }
+  for (usize i = 0; i < kNumChannels; ++i) {
+    const Channel c = static_cast<Channel>(i);
+    if (!a.has(c) || !b.has(c)) continue;
+    if (!channel_equal(a, b, c)) {
+      d.distinguishable = true;
+      d.channels.push_back(channel_name(c));
+      diverged.push_back(c);
+    }
+  }
 
   if (d.distinguishable) {
-    std::ostringstream os;
-    for (usize i = 0; i < a.fetch_prefix.size() && i < b.fetch_prefix.size();
-         ++i) {
-      if (a.fetch_prefix[i] != b.fetch_prefix[i]) {
-        os << "first fetch divergence at event " << i << ": 0x" << std::hex
-           << a.fetch_prefix[i] << " vs 0x" << b.fetch_prefix[i];
-        break;
-      }
+    // The most actionable detail first: an exact prefix-event divergence on
+    // a stream channel, then the first diverging channel in report order,
+    // then the recorded-set mismatch itself.
+    if (a.has(Channel::kFetch) && b.has(Channel::kFetch))
+      d.detail = fetch_prefix_divergence(a, b);
+    if (d.detail.empty() && a.has(Channel::kMemory) && b.has(Channel::kMemory))
+      d.detail = mem_prefix_divergence(a, b);
+    for (usize i = 0; d.detail.empty() && i < diverged.size(); ++i)
+      d.detail = channel_divergence(a, b, diverged[i]);
+    if (d.detail.empty()) {
+      std::ostringstream os;
+      os << "traces record different channel sets (0x" << std::hex
+         << static_cast<unsigned>(a.recorded) << " vs 0x"
+         << static_cast<unsigned>(b.recorded) << ")";
+      d.detail = os.str();
     }
-    if (os.str().empty()) {
-      for (usize i = 0; i < a.mem_prefix.size() && i < b.mem_prefix.size();
-           ++i) {
-        if (a.mem_prefix[i] != b.mem_prefix[i]) {
-          os << "first memory divergence at event " << i << ": 0x" << std::hex
-             << (a.mem_prefix[i] >> 1) << (a.mem_prefix[i] & 1 ? " (store)" : " (load)")
-             << " vs 0x" << (b.mem_prefix[i] >> 1)
-             << (b.mem_prefix[i] & 1 ? " (store)" : " (load)");
-          break;
-        }
-      }
-    }
-    if (os.str().empty() && a.total_cycles != b.total_cycles) {
-      os << "cycles " << std::dec << a.total_cycles << " vs " << b.total_cycles;
-    }
-    d.detail = os.str();
   }
   return d;
 }

@@ -11,17 +11,47 @@
 #include <vector>
 
 #include "cpu/functional_core.h"
+#include "util/check.h"
 #include "util/types.h"
 
 namespace sempe::security {
+
+/// The attacker-observable channels, one bit each in
+/// ObservationTrace::recorded. Order fixed: it is the channel-report order
+/// of compare() and the column order of the leakage-audit output.
+enum class Channel : u8 {
+  kTiming = 0,     // total cycle count
+  kFetch,          // instruction line address stream
+  kMemory,         // data line address + direction stream
+  kPredictor,      // TAGE/ITTAGE/BTB/RAS state after the run
+  kCache,          // cache access/miss counter digest
+};
+
+inline constexpr usize kNumChannels = 5;
+
+/// Stable channel label ("timing", "instruction-fetch", ...).
+const char* channel_name(Channel c);
+
+constexpr u8 channel_bit(Channel c) {
+  return static_cast<u8>(1u << static_cast<u8>(c));
+}
+inline constexpr u8 kAllChannels = (1u << kNumChannels) - 1;
 
 /// One run's observable footprint. Channels are kept as rolling FNV-1a
 /// hashes plus counts (bounded memory for 100M-instruction runs); the first
 /// `kPrefixCapacity` raw events per channel are also kept so tests can
 /// pinpoint the first divergence.
+///
+/// `recorded` tracks which channels were actually captured: compare() only
+/// judges channels recorded on both sides, so a functional run (no timing,
+/// no predictor/cache digests) can never make absent channels look
+/// "matching". Hand-constructed traces default to all-recorded; the
+/// ObservationRecorder starts from an empty set and marks channels as they
+/// are captured.
 struct ObservationTrace {
   static constexpr usize kPrefixCapacity = 4096;
 
+  u8 recorded = kAllChannels;   // bitmask of channel_bit(Channel)
   Cycle total_cycles = 0;       // timing channel
   u64 fetch_hash = kFnvInit;    // instruction line address stream
   u64 fetch_count = 0;
@@ -40,23 +70,55 @@ struct ObservationTrace {
     return h;
   }
 
+  bool has(Channel c) const { return (recorded & channel_bit(c)) != 0; }
+  void mark(Channel c) { recorded |= channel_bit(c); }
+
   bool operator==(const ObservationTrace&) const = default;
 };
 
+/// True iff `a` and `b` agree on channel `c`'s observable values. Ignores
+/// the recorded masks: callers filter on has() first.
+bool channel_equal(const ObservationTrace& a, const ObservationTrace& b,
+                   Channel c);
+
+/// Human-readable description of how `a` and `b` differ on channel `c`
+/// ("" when they agree). For the event-stream channels this names the
+/// first diverging prefix event when one exists, and falls back to the
+/// count/hash summary for divergences past kPrefixCapacity.
+std::string channel_divergence(const ObservationTrace& a,
+                               const ObservationTrace& b, Channel c);
+
 /// Records the observable channels of a FunctionalCore run by installing
-/// its hooks. Line granularity matches the attacker's cache-line view.
+/// its hooks. Line granularity matches the attacker's cache-line view;
+/// `line_bytes` must be a power of two >= 8 or the line mask would silently
+/// alias every address (hiding leaks).
 class ObservationRecorder {
  public:
   explicit ObservationRecorder(usize line_bytes = 64)
-      : line_mask_(~static_cast<Addr>(line_bytes - 1)) {}
+      : line_mask_(~static_cast<Addr>(line_bytes - 1)) {
+    SEMPE_CHECK_MSG(line_bytes >= 8 && (line_bytes & (line_bytes - 1)) == 0,
+                    "observation line_bytes = " << line_bytes
+                                                << " must be a power of two "
+                                                   ">= 8");
+    trace_.recorded = 0;  // channels are marked as they are captured
+  }
 
   /// Install hooks on the core. Any previous hooks are replaced.
   void attach(cpu::FunctionalCore& core);
 
   /// Fill in the post-run channel values (timing, predictor/cache digests).
-  void set_timing(Cycle cycles) { trace_.total_cycles = cycles; }
-  void set_predictor_digest(u64 d) { trace_.predictor_digest = d; }
-  void set_cache_digest(u64 d) { trace_.cache_digest = d; }
+  void set_timing(Cycle cycles) {
+    trace_.total_cycles = cycles;
+    trace_.mark(Channel::kTiming);
+  }
+  void set_predictor_digest(u64 d) {
+    trace_.predictor_digest = d;
+    trace_.mark(Channel::kPredictor);
+  }
+  void set_cache_digest(u64 d) {
+    trace_.cache_digest = d;
+    trace_.mark(Channel::kCache);
+  }
 
   const ObservationTrace& trace() const { return trace_; }
 
@@ -69,12 +131,17 @@ class ObservationRecorder {
 struct Distinguisher {
   bool distinguishable = false;
   std::vector<std::string> channels;  // which channels diverged
-  std::string detail;                 // first divergence, if locatable
+  std::string detail;                 // first divergence; never empty when
+                                      // distinguishable
 
   std::string to_string() const;
 };
 
 /// Compare the observable channels of two runs (e.g. secret=0 vs secret=1).
+/// Only channels recorded on BOTH sides are judged; traces with different
+/// recorded sets are flagged via the pseudo-channel "recorded-set" (a
+/// comparison between differently-instrumented runs is never silently
+/// "matching").
 Distinguisher compare(const ObservationTrace& a, const ObservationTrace& b);
 
 }  // namespace sempe::security

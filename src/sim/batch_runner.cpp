@@ -128,6 +128,15 @@ std::vector<WorkloadPoint> run_workload_jobs(
   });
 }
 
+std::vector<LeakagePoint> run_leakage_jobs(
+    const std::vector<LeakageJob>& jobs, usize threads) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_indexed(jobs.size(), threads, [&](usize i) {
+    const LeakageJob& j = jobs[i];
+    return measure_leakage(j.spec, j.opt);
+  });
+}
+
 std::vector<MicrobenchJob> microbench_grid(
     const std::vector<workloads::Kind>& kinds, const std::vector<usize>& widths,
     const MicrobenchOptions& opt) {
@@ -172,6 +181,20 @@ std::vector<WorkloadJob> workload_grid(const std::vector<std::string>& specs,
   jobs.reserve(specs.size());
   for (const std::string& spec : specs) {
     WorkloadJob j;
+    j.label = spec;
+    j.spec = spec;
+    j.opt = opt;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<LeakageJob> leakage_grid(const std::vector<std::string>& specs,
+                                     const security::AuditOptions& opt) {
+  std::vector<LeakageJob> jobs;
+  jobs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    LeakageJob j;
     j.label = spec;
     j.spec = spec;
     j.opt = opt;
@@ -274,6 +297,14 @@ std::string workload_json(const std::string& experiment,
     append_kv_s(out, "spec", p.spec);
     append_kv_u64(out, "has_cte", p.has_cte ? 1 : 0);
     append_kv_u64(out, "results_ok", p.results_ok ? 1 : 0);
+    // Per-mode verdicts (modes that did not run count as ok).
+    const ModeResultCheck* lc = p.check("legacy");
+    const ModeResultCheck* sc = p.check("sempe");
+    const ModeResultCheck* cc = p.check("cte");
+    append_kv_u64(out, "legacy_ok", (lc == nullptr || lc->ok) ? 1 : 0);
+    append_kv_u64(out, "sempe_ok", (sc == nullptr || sc->ok) ? 1 : 0);
+    append_kv_u64(out, "cte_ok", (cc == nullptr || cc->ok) ? 1 : 0);
+    append_kv_s(out, "result_mismatch", p.mismatch_summary());
     append_kv_u64(out, "baseline_cycles", p.baseline_cycles);
     append_kv_u64(out, "sempe_cycles", p.sempe_cycles);
     append_kv_u64(out, "cte_cycles", p.cte_cycles);
@@ -282,6 +313,58 @@ std::string workload_json(const std::string& experiment,
     append_kv_u64(out, "cte_instructions", p.cte_instructions);
     append_kv_f(out, "sempe_slowdown", p.sempe_slowdown());
     append_kv_f(out, "cte_slowdown", p.cte_slowdown(), /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+std::string leakage_json(const std::string& experiment,
+                         const std::vector<LeakageJob>& jobs,
+                         const std::vector<LeakagePoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  // Header workload field: the distinct generator names, in job order.
+  std::vector<std::string> seen;
+  std::string generators;
+  for (const LeakageJob& j : jobs) {
+    const std::string name = j.spec.substr(0, j.spec.find('?'));
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    if (!generators.empty()) generators += ',';
+    generators += name;
+  }
+  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+  for (usize i = 0; i < points.size(); ++i) {
+    const LeakagePoint& p = points[i];
+    const security::WorkloadAudit& a = p.audit;
+    out += "    {\n";
+    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "spec", a.spec);
+    append_kv_u64(out, "secret_width", a.secret_width);
+    append_kv_u64(out, "samples", a.masks.size());
+    append_kv_u64(out, "results_ok", p.results_ok() ? 1 : 0);
+    append_kv_u64(out, "has_cte", a.mode("cte") != nullptr ? 1 : 0);
+    // Absent modes (e.g. cte for djpeg) serialize as closed/zero so every
+    // point carries the same keys (byte-stable schema).
+    for (const char* mode : {"legacy", "sempe", "cte"}) {
+      const security::ModeAudit* m = a.mode(mode);
+      std::string k = mode;
+      append_kv_u64(out, (k + "_distinguishable").c_str(),
+                    (m != nullptr && !m->indistinguishable()) ? 1 : 0);
+      append_kv_f(out, (k + "_leaked_bits").c_str(),
+                  m != nullptr ? m->leaked_bits() : 0.0);
+      append_kv_s(out, (k + "_channels").c_str(),
+                  m != nullptr ? m->open_channels() : "");
+    }
+    append_kv_s(out, "legacy_divergence",
+                a.mode("legacy") != nullptr
+                    ? a.mode("legacy")->first_divergence()
+                    : "");
+    append_kv_s(out, "sempe_divergence",
+                a.mode("sempe") != nullptr
+                    ? a.mode("sempe")->first_divergence()
+                    : "",
+                /*last=*/true);
     out += i + 1 == points.size() ? "    }\n" : "    },\n";
   }
   json_footer(out);

@@ -102,14 +102,24 @@ struct WorkloadJob {
   MicrobenchOptions opt{};  // machine knobs only (see measure_workload)
 };
 
+/// One workload spec audited over the secret space (see measure_leakage).
+struct LeakageJob {
+  std::string label;  // e.g. "synthetic.cond_branch"
+  std::string spec;   // e.g. "synthetic.cond_branch?width=3&iters=2"
+  security::AuditOptions opt{};
+};
+
 /// Run every job through measure_microbench / measure_djpeg /
-/// measure_workload on `threads` workers; results come back in job order.
+/// measure_workload / measure_leakage on `threads` workers; results come
+/// back in job order.
 std::vector<MicrobenchPoint> run_microbench_jobs(
     const std::vector<MicrobenchJob>& jobs, usize threads);
 std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
                                        usize threads);
 std::vector<WorkloadPoint> run_workload_jobs(
     const std::vector<WorkloadJob>& jobs, usize threads);
+std::vector<LeakagePoint> run_leakage_jobs(
+    const std::vector<LeakageJob>& jobs, usize threads);
 
 /// Cartesian sweep (kind-major, so a figure's series stay contiguous).
 std::vector<MicrobenchJob> microbench_grid(
@@ -122,6 +132,8 @@ std::vector<DjpegJob> djpeg_grid(
 /// One job per spec; labels default to the spec text.
 std::vector<WorkloadJob> workload_grid(const std::vector<std::string>& specs,
                                        const MicrobenchOptions& opt);
+std::vector<LeakageJob> leakage_grid(const std::vector<std::string>& specs,
+                                     const security::AuditOptions& opt);
 
 /// The four Fig. 7 microbenchmark kinds.
 const std::vector<workloads::Kind>& all_kinds();
@@ -148,6 +160,9 @@ std::string djpeg_json(const std::string& experiment,
 std::string workload_json(const std::string& experiment,
                           const std::vector<WorkloadJob>& jobs,
                           const std::vector<WorkloadPoint>& points);
+std::string leakage_json(const std::string& experiment,
+                         const std::vector<LeakageJob>& jobs,
+                         const std::vector<LeakagePoint>& points);
 
 // ---------------------------------------------------------------------------
 // Shared bench CLI.

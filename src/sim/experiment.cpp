@@ -86,6 +86,22 @@ MicrobenchPoint measure_microbench(workloads::Kind kind, usize width,
   return pt;
 }
 
+const ModeResultCheck* WorkloadPoint::check(const std::string& mode) const {
+  for (const ModeResultCheck& c : checks)
+    if (c.mode == mode) return &c;
+  return nullptr;
+}
+
+std::string WorkloadPoint::mismatch_summary() const {
+  std::string out;
+  for (const ModeResultCheck& c : checks) {
+    if (c.ok) continue;
+    if (!out.empty()) out += "; ";
+    out += c.mode + ": " + c.detail;
+  }
+  return out;
+}
+
 WorkloadPoint measure_workload(const std::string& spec,
                                const MicrobenchOptions& opt) {
   using workloads::BuiltWorkload;
@@ -103,19 +119,28 @@ WorkloadPoint measure_workload(const std::string& spec,
   auto timed = [&](const BuiltWorkload& b, cpu::ExecMode mode) {
     return run_built(b.program, mode, opt, b.results_addr, b.num_results);
   };
+  // Per-mode checks: a mismatch names the mode and word that diverged
+  // instead of collapsing into one anonymous bool.
+  auto checked = [&pt](const char* mode, const std::vector<u64>& probed,
+                       const std::vector<u64>& expected) {
+    ModeResultCheck c;
+    c.mode = mode;
+    c.detail = first_result_mismatch(probed, expected);
+    c.ok = c.detail.empty();
+    pt.checks.push_back(std::move(c));
+  };
 
-  bool ok = true;
   {
     const RunResult r = timed(secure, cpu::ExecMode::kLegacy);
     pt.baseline_cycles = r.cycles();
     pt.baseline_instructions = r.instructions;
-    ok = ok && r.probed == secure.expected_results;
+    checked("legacy", r.probed, secure.expected_results);
   }
   {
     const RunResult r = timed(secure, cpu::ExecMode::kSempe);
     pt.sempe_cycles = r.cycles();
     pt.sempe_instructions = r.instructions;
-    ok = ok && r.probed == secure.expected_results;
+    checked("sempe", r.probed, secure.expected_results);
   }
 
   pt.has_cte = gen.has_cte_variant();
@@ -124,10 +149,25 @@ WorkloadPoint measure_workload(const std::string& spec,
     const RunResult r = timed(cte, cpu::ExecMode::kLegacy);
     pt.cte_cycles = r.cycles();
     pt.cte_instructions = r.instructions;
-    ok = ok && r.probed == cte.expected_results &&
-         cte.expected_results == secure.expected_results;
+    checked("cte", r.probed, cte.expected_results);
+    // The two variants must also agree with EACH OTHER on what the merged
+    // results should be — a CTE emitter bug could satisfy its own mirror.
+    if (cte.expected_results != secure.expected_results && pt.checks.back().ok) {
+      pt.checks.back().ok = false;
+      pt.checks.back().detail =
+          "cte host mirror disagrees with the secure variant's: " +
+          first_result_mismatch(cte.expected_results, secure.expected_results);
+    }
   }
-  pt.results_ok = ok;
+  pt.results_ok = true;
+  for (const ModeResultCheck& c : pt.checks) pt.results_ok = pt.results_ok && c.ok;
+  return pt;
+}
+
+LeakagePoint measure_leakage(const std::string& spec,
+                             const security::AuditOptions& opt) {
+  LeakagePoint pt;
+  pt.audit = security::audit_workload(spec, opt);
   return pt;
 }
 

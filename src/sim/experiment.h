@@ -15,6 +15,7 @@
 //              effect).
 #pragma once
 
+#include "security/audit.h"
 #include "sim/simulator.h"
 #include "workloads/djpeg.h"
 #include "workloads/microbench.h"
@@ -86,6 +87,14 @@ struct DjpegPoint {
 DjpegPoint measure_djpeg(workloads::OutputFormat fmt, usize pixels,
                          usize scale = 8, u64 image_seed = 1);
 
+/// The result check of one mode's run: which run diverged from the
+/// host-computed expectations, and where.
+struct ModeResultCheck {
+  std::string mode;    // "legacy" | "sempe" | "cte"
+  bool ok = true;
+  std::string detail;  // first mismatching word, "" when ok
+};
+
 /// One registry-resolved workload spec, timed across the full mode matrix:
 /// the secure binary on the legacy core (baseline) and the SeMPE core, and
 /// — when the generator has one — the CTE binary on the legacy core. Every
@@ -95,6 +104,7 @@ struct WorkloadPoint {
   std::string spec;        // canonical spec (every parameter resolved)
   bool has_cte = false;    // generator provides a CTE variant
   bool results_ok = false; // all runs matched the expected results
+  std::vector<ModeResultCheck> checks;  // one per executed mode, run order
   Cycle baseline_cycles = 0;
   Cycle sempe_cycles = 0;
   Cycle cte_cycles = 0;
@@ -108,6 +118,10 @@ struct WorkloadPoint {
   double cte_slowdown() const {
     return MicrobenchPoint::ratio(cte_cycles, baseline_cycles);
   }
+  /// nullptr when the mode was not run (e.g. "cte" without a variant).
+  const ModeResultCheck* check(const std::string& mode) const;
+  /// "mode: detail" for every failed mode, "; "-joined ("" when all ok).
+  std::string mismatch_summary() const;
 };
 
 /// Resolve `spec` through the workload registry and measure it. The
@@ -115,6 +129,31 @@ struct WorkloadPoint {
 /// are ignored (the spec's own parameters control workload shape).
 WorkloadPoint measure_workload(const std::string& spec,
                                const MicrobenchOptions& opt = {});
+
+/// One registry-resolved workload spec swept over the secret space: the
+/// leakage audit (security/audit.h) packaged as a batch-runner point.
+struct LeakagePoint {
+  security::WorkloadAudit audit;
+
+  /// The paper's claim, per workload: SeMPE closes every channel.
+  bool sempe_closed() const { return audit.sempe_closed(); }
+  /// True when the legacy baseline is distinguishable — the vulnerability
+  /// the audit must be able to re-derive for secret-dependent workloads.
+  bool legacy_leaks() const {
+    const security::ModeAudit* m = audit.mode("legacy");
+    return m != nullptr && !m->indistinguishable();
+  }
+  /// Functional cross-check over every mode and secret sample.
+  bool results_ok() const {
+    for (const security::ModeAudit& m : audit.modes)
+      if (!m.results_ok) return false;
+    return true;
+  }
+};
+
+/// Audit `spec` over `opt.samples` secret vectors (see audit_workload).
+LeakagePoint measure_leakage(const std::string& spec,
+                             const security::AuditOptions& opt = {});
 
 /// Benchmark scaling knobs from the environment (so `make bench` stays
 /// fast by default but full-size runs are one env var away):

@@ -1,6 +1,21 @@
 #include "sim/simulator.h"
 
+#include <sstream>
+
 namespace sempe::sim {
+
+std::string first_result_mismatch(const std::vector<u64>& probed,
+                                  const std::vector<u64>& expected) {
+  if (probed == expected) return "";
+  usize k = 0;
+  while (k < probed.size() && k < expected.size() && probed[k] == expected[k])
+    ++k;
+  std::ostringstream os;
+  os << "result[" << k << "] = 0x" << std::hex
+     << (k < probed.size() ? probed[k] : 0) << ", expected 0x"
+     << (k < expected.size() ? expected[k] : 0);
+  return os.str();
+}
 
 RunResult run(const isa::Program& program, const RunConfig& cfg) {
   mem::MainMemory memory;
@@ -23,6 +38,8 @@ RunResult run(const isa::Program& program, const RunConfig& cfg) {
     recorder.set_predictor_digest(pipe.predictor_digest());
     recorder.set_cache_digest(pipe.memory().state_digest());
     r.trace = recorder.trace();
+  } else {
+    r.trace.recorded = 0;  // nothing was observed this run
   }
   for (usize i = 0; i < cfg.probe_words; ++i)
     r.probed.push_back(memory.read_u64(cfg.probe_addr + i * 8));
@@ -32,12 +49,13 @@ RunResult run(const isa::Program& program, const RunConfig& cfg) {
 FunctionalResult run_functional(const isa::Program& program,
                                 cpu::ExecMode mode,
                                 const cpu::CoreConfig& core_cfg,
-                                Addr probe_addr, usize probe_words) {
+                                Addr probe_addr, usize probe_words,
+                                usize line_bytes) {
   mem::MainMemory memory;
   cpu::CoreConfig cc = core_cfg;
   cc.mode = mode;
   cpu::FunctionalCore core(&program, &memory, cc);
-  security::ObservationRecorder recorder;
+  security::ObservationRecorder recorder(line_bytes);
   recorder.attach(core);
   FunctionalResult r;
   r.instructions = core.run_to_halt();

@@ -36,7 +36,18 @@ struct RunResult {
 /// Run `program` to HALT on the full timing model.
 RunResult run(const isa::Program& program, const RunConfig& cfg = {});
 
+/// Compare a run's probed result words against the host-computed
+/// expectations: "" when they match, the first mismatching word otherwise
+/// (e.g. "result[2] = 0x5, expected 0x7"). Shared by every result-check
+/// reporter (experiment drivers, the leakage audit, sempe_run).
+std::string first_result_mismatch(const std::vector<u64>& probed,
+                                  const std::vector<u64>& expected);
+
 /// Functional-only run (no timing); much faster, used by correctness tests.
+/// Its trace records only the fetch and memory channels (there is no
+/// pipeline, so no timing/predictor/cache observations exist) — compare()
+/// judges exactly those, never the absent ones. `line_bytes` sets the
+/// recorder's cache-line granularity (power of two >= 8).
 struct FunctionalResult {
   u64 instructions = 0;
   cpu::ArchState final_state;
@@ -47,6 +58,7 @@ struct FunctionalResult {
 FunctionalResult run_functional(const isa::Program& program,
                                 cpu::ExecMode mode,
                                 const cpu::CoreConfig& core_cfg = {},
-                                Addr probe_addr = 0, usize probe_words = 0);
+                                Addr probe_addr = 0, usize probe_words = 0,
+                                usize line_bytes = 64);
 
 }  // namespace sempe::sim

@@ -18,6 +18,27 @@ void emit_guard_select(ProgramBuilder& pb, isa::Reg dst, isa::Reg val,
   pb.or_(dst, dst, scratch);
 }
 
+std::vector<u8> secrets_from_mask(u64 mask, usize width) {
+  SEMPE_CHECK_MSG(width >= 64 || (mask >> width) == 0,
+                  "secret mask 0x" << std::hex << mask << std::dec
+                                   << " does not fit in width " << width);
+  std::vector<u8> secrets(width);
+  for (usize w = 0; w < width; ++w)
+    secrets[w] = static_cast<u8>((mask >> w) & 1);
+  return secrets;
+}
+
+std::string secrets_literal(u64 mask, usize width) {
+  SEMPE_CHECK_MSG(width >= 64 || (mask >> width) == 0,
+                  "secret mask 0x" << std::hex << mask << std::dec
+                                   << " does not fit in width " << width);
+  std::string out = "0b";
+  if (width == 0) return out + "0";
+  for (usize w = width; w-- > 0;)
+    out += ((mask >> w) & 1) ? '1' : '0';
+  return out;
+}
+
 BuiltHarness build_harness(const KernelSpec& spec, const HarnessConfig& cfg) {
   SEMPE_CHECK_MSG(cfg.iterations > 0, "iterations must be positive");
   SEMPE_CHECK_MSG(cfg.width <= 30, "width exceeds jbTable capacity");

@@ -69,4 +69,14 @@ BuiltHarness build_harness(const KernelSpec& spec, const HarnessConfig& cfg);
 void emit_guard_select(isa::ProgramBuilder& pb, isa::Reg dst, isa::Reg val,
                        isa::Reg scratch);
 
+/// Decode a secret-space point into the per-level secret vector: bit w of
+/// `mask` (LSB first) is s(w+1). `mask` must fit in `width` bits. This is
+/// how the leakage audit enumerates/samples the 2^W secret space.
+std::vector<u8> secrets_from_mask(u64 mask, usize width);
+
+/// The spec-grammar literal for a mask, e.g. secrets_literal(0b101, 4) ==
+/// "0b0101" (digits written MSB first, zero-padded to `width`). Feeding it
+/// back through `secrets=` reproduces secrets_from_mask(mask, width).
+std::string secrets_literal(u64 mask, usize width);
+
 }  // namespace sempe::workloads

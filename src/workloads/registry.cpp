@@ -142,18 +142,37 @@ HarnessConfig harness_config_from_spec(const WorkloadSpec& spec,
                    std::to_string(h.width) +
                    " exceeds the jbTable capacity of 30");
   const std::string sec = spec.get("secrets", "1");
-  for (const char c : sec)
-    if (c != '0' && c != '1')
-      throw SimError("workload '" + spec.name + "': secrets value '" + sec +
-                     "' must be a string of 0/1 digits");
-  if (sec.size() == 1) {
-    h.secrets.assign(h.width, static_cast<u8>(sec[0] - '0'));
-  } else if (sec.size() == h.width) {
-    for (const char c : sec) h.secrets.push_back(static_cast<u8>(c - '0'));
+  if (sec.size() > 2 && sec[0] == '0' && sec[1] == 'b') {
+    // Mask literal: the digits after "0b" are one binary number (MSB
+    // first); bit w is s(w+1). This is the secret-space-sweep form the
+    // leakage audit emits (security/audit.h) — any point of the 2^W space
+    // addressable without changing the string length.
+    u64 mask = 0;
+    for (usize i = 2; i < sec.size(); ++i) {
+      if (sec[i] != '0' && sec[i] != '1')
+        throw SimError("workload '" + spec.name + "': secrets literal '" +
+                       sec + "' has a non-binary digit");
+      mask = (mask << 1) | static_cast<u64>(sec[i] - '0');
+    }
+    if (sec.size() - 2 > 64 || (h.width < 64 && (mask >> h.width) != 0))
+      throw SimError("workload '" + spec.name + "': secrets literal '" + sec +
+                     "' does not fit in width=" + std::to_string(h.width));
+    h.secrets = secrets_from_mask(mask, h.width);
   } else {
-    throw SimError("workload '" + spec.name + "': secrets '" + sec +
-                   "' must have one digit or exactly width=" +
-                   std::to_string(h.width) + " digits");
+    for (const char c : sec)
+      if (c != '0' && c != '1')
+        throw SimError("workload '" + spec.name + "': secrets value '" + sec +
+                       "' must be a string of 0/1 digits");
+    if (sec.size() == 1) {
+      h.secrets.assign(h.width, static_cast<u8>(sec[0] - '0'));
+    } else if (sec.size() == h.width) {
+      for (const char c : sec) h.secrets.push_back(static_cast<u8>(c - '0'));
+    } else {
+      throw SimError("workload '" + spec.name + "': secrets '" + sec +
+                     "' must have one digit or exactly width=" +
+                     std::to_string(h.width) +
+                     " digits (or a 0b mask literal)");
+    }
   }
   return h;
 }
@@ -203,6 +222,9 @@ class MicrobenchGenerator final : public WorkloadGenerator {
   std::string summary() const override {
     return std::string("Fig. 7 ") + kind_name(kind_) +
            " microbenchmark (size, width, iters, secrets, seed)";
+  }
+  usize secret_width(const WorkloadSpec& spec) const override {
+    return static_cast<usize>(spec.get_u64("width", 1));
   }
   BuiltWorkload build(const WorkloadSpec& in, Variant variant) const override {
     WorkloadSpec spec = in;
@@ -292,6 +314,10 @@ class SyntheticGenerator final : public WorkloadGenerator {
     }
     synth_name(kind_);  // CHECK-fails on out-of-range values
     std::abort();       // unreachable
+  }
+
+  usize secret_width(const WorkloadSpec& spec) const override {
+    return static_cast<usize>(spec.get_u64("width", 1));
   }
 
   BuiltWorkload build(const WorkloadSpec& in, Variant variant) const override {

@@ -70,6 +70,14 @@ class WorkloadGenerator {
   virtual std::string summary() const = 0;
   /// Whether build(…, Variant::kCte) is meaningful for this source.
   virtual bool has_cte_variant() const { return true; }
+  /// Number of independent secret bits `spec` exposes — the dimension the
+  /// leakage audit (security/audit.h) sweeps by rewriting the spec's
+  /// `secrets` key with 0b mask literals. 0 means the workload has no
+  /// settable secret vector (e.g. djpeg, whose secret is the image seed).
+  virtual usize secret_width(const WorkloadSpec& spec) const {
+    (void)spec;
+    return 0;
+  }
   virtual BuiltWorkload build(const WorkloadSpec& spec,
                               Variant variant) const = 0;
 };

@@ -79,6 +79,166 @@ TEST(Observation, RecorderReplacesHooksCleanly) {
   EXPECT_EQ(r2.trace().fetch_count, 2u);
 }
 
+TEST(Observation, RecorderRejectsBadLineBytes) {
+  // A zero or non-power-of-two line size would silently map every address
+  // through a garbage mask — exactly the failure mode that hides leaks.
+  EXPECT_THROW(ObservationRecorder(0), SimError);
+  EXPECT_THROW(ObservationRecorder(4), SimError);   // < 8
+  EXPECT_THROW(ObservationRecorder(48), SimError);  // not a power of two
+  EXPECT_THROW(ObservationRecorder(65), SimError);
+  EXPECT_NO_THROW(ObservationRecorder(8));
+  EXPECT_NO_THROW(ObservationRecorder(64));
+  EXPECT_NO_THROW(ObservationRecorder(128));
+}
+
+TEST(Observation, HandBuiltTracesDefaultToAllRecorded) {
+  const ObservationTrace t;
+  EXPECT_EQ(t.recorded, kAllChannels);
+  for (usize i = 0; i < kNumChannels; ++i)
+    EXPECT_TRUE(t.has(static_cast<Channel>(i)));
+}
+
+TEST(Observation, FunctionalRunsRecordOnlyStreamChannels) {
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.halt();
+  const auto r = sim::run_functional(pb.build(), cpu::ExecMode::kLegacy);
+  EXPECT_TRUE(r.trace.has(Channel::kFetch));
+  EXPECT_TRUE(r.trace.has(Channel::kMemory));
+  EXPECT_FALSE(r.trace.has(Channel::kTiming));
+  EXPECT_FALSE(r.trace.has(Channel::kPredictor));
+  EXPECT_FALSE(r.trace.has(Channel::kCache));
+}
+
+TEST(Observation, FullRunsRecordEveryChannel) {
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.halt();
+  const auto r = sim::run(pb.build());
+  EXPECT_EQ(r.trace.recorded, kAllChannels);
+}
+
+TEST(Observation, UnrecordedRunHasEmptyRecordedSet) {
+  ProgramBuilder pb;
+  pb.halt();
+  sim::RunConfig rc;
+  rc.record_observations = false;
+  EXPECT_EQ(sim::run(pb.build(), rc).trace.recorded, 0u);
+}
+
+TEST(Observation, CompareSkipsChannelsNotRecordedOnBothSides) {
+  // Two traces that would differ wildly on timing/digests — but neither
+  // recorded those channels, so they carry no observation to compare.
+  ObservationTrace a, b;
+  a.recorded = b.recorded =
+      channel_bit(Channel::kFetch) | channel_bit(Channel::kMemory);
+  a.total_cycles = 10;
+  b.total_cycles = 99999;
+  a.predictor_digest = 1;
+  b.predictor_digest = 2;
+  const auto d = compare(a, b);
+  EXPECT_FALSE(d.distinguishable) << d.to_string();
+}
+
+TEST(Observation, CompareFlagsDifferentRecordedSets) {
+  // A functional trace vs a full-run trace must never be silently
+  // "matching" — the comparison itself is malformed.
+  ObservationTrace a, b;
+  a.recorded = channel_bit(Channel::kFetch) | channel_bit(Channel::kMemory);
+  const auto d = compare(a, b);
+  EXPECT_TRUE(d.distinguishable);
+  ASSERT_EQ(d.channels.size(), 1u);
+  EXPECT_EQ(d.channels[0], "recorded-set");
+  EXPECT_NE(d.detail.find("different channel sets"), std::string::npos)
+      << d.detail;
+}
+
+TEST(Observation, DetailPinsTimingDivergence) {
+  ObservationTrace a, b;
+  a.total_cycles = 10;
+  b.total_cycles = 11;
+  const auto d = compare(a, b);
+  EXPECT_TRUE(d.distinguishable);
+  EXPECT_EQ(d.detail, "cycles 10 vs 11");
+}
+
+TEST(Observation, DetailPinsCountOnlyDivergences) {
+  // Counts differ but the kept prefixes are identical (divergence past
+  // kPrefixCapacity): the detail must still locate the channel.
+  ObservationTrace a, b;
+  a.fetch_count = 21;
+  b.fetch_count = 25;
+  const auto df = compare(a, b);
+  EXPECT_EQ(df.detail,
+            "fetch counts 21 vs 25 (divergence past the recorded prefix)");
+
+  ObservationTrace c, e;
+  c.mem_count = 7;
+  e.mem_count = 9;
+  const auto dm = compare(c, e);
+  EXPECT_EQ(dm.detail,
+            "memory counts 7 vs 9 (divergence past the recorded prefix)");
+}
+
+TEST(Observation, DetailPinsHashOnlyDivergences) {
+  ObservationTrace a, b;
+  b.fetch_hash = 0x123;
+  const auto d = compare(a, b);
+  EXPECT_NE(d.detail.find("fetch hashes"), std::string::npos) << d.detail;
+  EXPECT_NE(d.detail.find("past the recorded prefix"), std::string::npos);
+
+  ObservationTrace c, e;
+  e.mem_hash = 0x456;
+  const auto dm = compare(c, e);
+  EXPECT_NE(dm.detail.find("memory hashes"), std::string::npos) << dm.detail;
+}
+
+TEST(Observation, DetailPinsDigestDivergences) {
+  ObservationTrace a, b;
+  a.predictor_digest = 0x1;
+  b.predictor_digest = 0x2;
+  const auto dp = compare(a, b);
+  EXPECT_EQ(dp.detail, "predictor digest 0x1 vs 0x2");
+
+  ObservationTrace c, e;
+  c.cache_digest = 0xa;
+  e.cache_digest = 0xb;
+  const auto dc = compare(c, e);
+  EXPECT_EQ(dc.detail, "cache digest 0xa vs 0xb");
+}
+
+TEST(Observation, DetailPrefersPrefixEventOverChannelSummaries) {
+  // When a raw prefix event diverges, that exact event is the detail even
+  // if timing (an earlier channel in report order) also diverged.
+  ObservationTrace a, b;
+  a.total_cycles = 1;
+  b.total_cycles = 2;
+  a.fetch_hash = 1;
+  b.fetch_hash = 2;
+  a.fetch_prefix = {0x0, 0x40};
+  b.fetch_prefix = {0x0, 0x80};
+  const auto d = compare(a, b);
+  EXPECT_EQ(d.detail, "first fetch divergence at event 1: 0x40 vs 0x80");
+}
+
+TEST(Observation, DetailNeverEmptyWhenDistinguishable) {
+  // Every single-channel divergence class yields a non-empty detail.
+  for (usize i = 0; i < kNumChannels; ++i) {
+    ObservationTrace a, b;
+    switch (static_cast<Channel>(i)) {
+      case Channel::kTiming: b.total_cycles = 1; break;
+      case Channel::kFetch: b.fetch_count = 1; break;
+      case Channel::kMemory: b.mem_hash = 1; break;
+      case Channel::kPredictor: b.predictor_digest = 1; break;
+      case Channel::kCache: b.cache_digest = 1; break;
+    }
+    const auto d = compare(a, b);
+    EXPECT_TRUE(d.distinguishable);
+    EXPECT_FALSE(d.detail.empty())
+        << "channel " << channel_name(static_cast<Channel>(i));
+  }
+}
+
 TEST(Observation, EqualTracesHashEqual) {
   ProgramBuilder pb1, pb2;
   for (auto* pb : {&pb1, &pb2}) {
