@@ -1,0 +1,62 @@
+// Real-scenario sweep — the crypto and data-structure kernels of the
+// scenario pack (workloads/scenarios.h) resolved through the workload
+// registry and timed across the full mode matrix (legacy baseline, SeMPE,
+// CTE) at nesting widths 1 and 4, with the secrets all false (the Fig. 10
+// convention: the baseline skips every guarded level) and all true. Each
+// point functionally cross-checks the merged results of every mode
+// against the host mirrors ("ok" column). The CTE column is where the
+// paper's 10-100x software constant-time overheads show up: the oblivious
+// T-table scan and worst-case probe windows do real extra work.
+//
+// SEMPE_BENCH_ITERS sets the harness iteration count per run (default 4).
+// The points run concurrently through sim/batch_runner.h; output —
+// including --json — is byte-identical for any --threads value (pinned by
+// tests/golden_json_test.cpp).
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "sim/batch_runner.h"
+#include "workloads/scenarios.h"
+
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "real-scenario pack: crypto + "
+                                 "data-structure kernels x {legacy, SeMPE, "
+                                 "CTE}",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
+
+  const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 4);
+  const std::vector<std::string> specs = workloads::scenario_sweep_specs(iters);
+  const auto jobs = sim::workload_grid(specs, sim::MicrobenchOptions{});
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_workload_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  bool all_ok = true;
+  for (const auto& pt : points) {
+    all_ok = all_ok && pt.results_ok;
+    std::fprintf(out,
+                 "scenario  %-48s  SeMPE %6.2fx   CTE %7.2fx   %s\n",
+                 pt.spec.c_str(), pt.sempe_slowdown(), pt.cte_slowdown(),
+                 pt.results_ok ? "ok" : "RESULTS MISMATCH");
+    if (!pt.results_ok)
+      std::fprintf(out, "  !! %s\n", pt.mismatch_summary().c_str());
+  }
+  std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::workload_json("scenarios", jobs, points)))
+    return 1;
+  return all_ok ? 0 : 1;
+}

@@ -56,13 +56,10 @@ void print_usage(const char* argv0) {
 }
 
 int list_workloads() {
-  const auto& reg = workloads::WorkloadRegistry::instance();
-  std::printf("registered workloads:\n");
-  for (const std::string& n : reg.names()) {
-    const workloads::WorkloadGenerator& g = reg.resolve(n);
-    std::printf("  %-22s %s%s\n", n.c_str(), g.summary().c_str(),
-                g.has_cte_variant() ? "" : " [no CTE variant]");
-  }
+  // The full catalog: summary, every parameter with its default, and the
+  // secret width of the default spec, per generator.
+  std::printf("registered workloads:\n%s",
+              workloads::WorkloadRegistry::instance().catalog().c_str());
   std::printf(
       "\nspec grammar: name?key=val&key=val  "
       "(e.g. synthetic.ptr_chase?size=4096&stride=64)\n");

@@ -18,6 +18,18 @@ void emit_guard_select(ProgramBuilder& pb, isa::Reg dst, isa::Reg val,
   pb.or_(dst, dst, scratch);
 }
 
+void emit_out_slot(ProgramBuilder& pb, const KernelParams& p, isa::Reg sum,
+                   isa::Reg slot, isa::Reg old, isa::Reg scratch, bool cte) {
+  pb.li(slot, static_cast<i64>(p.out_slot));
+  if (cte) {
+    pb.ld(old, slot, 0);
+    emit_guard_select(pb, old, sum, scratch);
+    pb.st(old, slot, 0);
+  } else {
+    pb.st(sum, slot, 0);
+  }
+}
+
 std::vector<u8> secrets_from_mask(u64 mask, usize width) {
   SEMPE_CHECK_MSG(width >= 64 || (mask >> width) == 0,
                   "secret mask 0x" << std::hex << mask << std::dec

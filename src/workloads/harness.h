@@ -69,6 +69,13 @@ BuiltHarness build_harness(const KernelSpec& spec, const HarnessConfig& cfg);
 void emit_guard_select(isa::ProgramBuilder& pb, isa::Reg dst, isa::Reg val,
                        isa::Reg scratch);
 
+/// Write `sum` to p.out_slot — plainly (natural) or guard-masked (CTE).
+/// `slot`/`old`/`scratch` are caller-provided scratch registers. Shared by
+/// the synthetic and scenario kernel families.
+void emit_out_slot(isa::ProgramBuilder& pb, const KernelParams& p,
+                   isa::Reg sum, isa::Reg slot, isa::Reg old,
+                   isa::Reg scratch, bool cte);
+
 /// Decode a secret-space point into the per-level secret vector: bit w of
 /// `mask` (LSB first) is s(w+1). `mask` must fit in `width` bits. This is
 /// how the leakage audit enumerates/samples the 2^W secret space.

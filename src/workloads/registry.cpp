@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "workloads/djpeg.h"
 #include "workloads/microbench.h"
+#include "workloads/scenarios.h"
 #include "workloads/synthetic.h"
 
 namespace sempe::workloads {
@@ -208,6 +209,14 @@ BuiltWorkload from_harness(BuiltHarness b, std::string canonical) {
   return out;
 }
 
+/// The harness keys every harnessed generator accepts, for params().
+void append_harness_params(std::vector<ParamInfo>& out) {
+  out.push_back({"width", "1", "secret-branch nesting depth W"});
+  out.push_back({"iters", "4", "harness iterations"});
+  out.push_back({"secrets", "1", "0/1 string or 0bNNN mask literal"});
+  out.push_back({"seed", "42", "input-image seed"});
+}
+
 // ---------------------------------------------------------------------------
 // Built-in generators
 // ---------------------------------------------------------------------------
@@ -226,14 +235,25 @@ class MicrobenchGenerator final : public WorkloadGenerator {
   usize secret_width(const WorkloadSpec& spec) const override {
     return static_cast<usize>(spec.get_u64("width", 1));
   }
+  std::vector<ParamInfo> params() const override {
+    std::vector<ParamInfo> out = {
+        {"size", std::to_string(kernel_default_size(kind_)),
+         "problem size (loop count / elements / board size)"}};
+    append_harness_params(out);
+    return out;
+  }
   BuiltWorkload build(const WorkloadSpec& in, Variant variant) const override {
     WorkloadSpec spec = in;
     spec.check_keys({"size", "width", "iters", "secrets", "seed"});
     const usize size =
         resolve_defaulted(spec, "size", kernel_default_size(kind_));
-    if (size > (1u << 20))
+    // Queens' host-mirror backtracking search is exponential in size; an
+    // unbounded size would hang the build, not just slow the simulation.
+    const usize size_cap = kind_ == Kind::kQueens ? 12 : (1u << 20);
+    if (size > size_cap)
       throw SimError("workload '" + name() + "': size=" +
-                     std::to_string(size) + " out of range [1, 2^20]");
+                     std::to_string(size) + " out of range [1, " +
+                     std::to_string(size_cap) + "]");
     apply_harness_defaults(spec);
 
     const u64 seed = spec.get_u64("seed", 42);
@@ -255,6 +275,12 @@ class DjpegGenerator final : public WorkloadGenerator {
            "pixels, scale, seed)";
   }
   bool has_cte_variant() const override { return false; }
+  std::vector<ParamInfo> params() const override {
+    return {{"format", "ppm", "output epilogue: ppm, gif, or bmp"},
+            {"pixels", "262144", "nominal image size"},
+            {"scale", "8", "pixel divisor for simulation time"},
+            {"seed", "1", "image-content seed (the secret)"}};
+  }
   BuiltWorkload build(const WorkloadSpec& in, Variant variant) const override {
     if (variant == Variant::kCte)
       throw SimError("workload 'djpeg' has no CTE variant");
@@ -276,6 +302,14 @@ class DjpegGenerator final : public WorkloadGenerator {
     cfg.pixels = spec.get_u64("pixels", cfg.pixels);
     cfg.scale = spec.get_u64("scale", cfg.scale);
     cfg.image_seed = spec.get_u64("seed", cfg.image_seed);
+    // Range-check before building: an unbounded pixel count would make
+    // the builder allocate (and host-decode) an arbitrarily large image.
+    if (cfg.pixels < 64 || cfg.pixels > (1u << 24))
+      throw SimError("workload 'djpeg': pixels=" +
+                     std::to_string(cfg.pixels) + " out of range [64, 2^24]");
+    if (cfg.scale < 1 || cfg.scale > 256)
+      throw SimError("workload 'djpeg': scale=" + std::to_string(cfg.scale) +
+                     " out of range [1, 256]");
 
     BuiltDjpeg b = build_djpeg(cfg);
     BuiltWorkload out;
@@ -318,6 +352,33 @@ class SyntheticGenerator final : public WorkloadGenerator {
 
   usize secret_width(const WorkloadSpec& spec) const override {
     return static_cast<usize>(spec.get_u64("width", 1));
+  }
+
+  std::vector<ParamInfo> params() const override {
+    std::vector<ParamInfo> out = {
+        {"size", std::to_string(synth_default_size(kind_)),
+         "elements / steps per kernel execution"}};
+    switch (kind_) {
+      case SynthKind::kPtrChase:
+        out.push_back({"stride", "64", "element spacing in bytes"});
+        out.push_back({"steps", "0", "chase length (0 = 2*size+1)"});
+        break;
+      case SynthKind::kCondBranch:
+        out.push_back({"taken", "500", "P(taken) in per mille"});
+        break;
+      case SynthKind::kIndirect:
+        out.push_back({"targets", "8", "indirect target pool size"});
+        break;
+      case SynthKind::kIlpChain:
+        out.push_back({"chains", "4", "independent dependence chains"});
+        out.push_back({"depth", "8", "dependent ops per chain per step"});
+        break;
+      case SynthKind::kStream:
+      case SynthKind::kSecretMix:
+        break;
+    }
+    append_harness_params(out);
+    return out;
   }
 
   BuiltWorkload build(const WorkloadSpec& in, Variant variant) const override {
@@ -385,6 +446,100 @@ class SyntheticGenerator final : public WorkloadGenerator {
   SynthKind kind_;
 };
 
+class ScenarioGenerator final : public WorkloadGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioKind kind) : kind_(kind) {}
+
+  std::string name() const override { return scenario_name(kind_); }
+
+  std::string summary() const override {
+    switch (kind_) {
+      case ScenarioKind::kAesTtable:
+        return "S-box/T-table cipher round passes, the cache-channel "
+               "victim; CTE scans the whole table (size, rounds" +
+               common();
+      case ScenarioKind::kModexp:
+        return "square-and-multiply modular exponentiation, the "
+               "fetch/timing-channel victim (size, bits" +
+               common();
+      case ScenarioKind::kHashProbe:
+        return "open-addressing hash-table probing with data-dependent "
+               "chain lengths (size, slots, fill" +
+               common();
+    }
+    scenario_name(kind_);  // CHECK-fails on out-of-range values
+    std::abort();          // unreachable
+  }
+
+  usize secret_width(const WorkloadSpec& spec) const override {
+    return static_cast<usize>(spec.get_u64("width", 1));
+  }
+
+  std::vector<ParamInfo> params() const override {
+    std::vector<ParamInfo> out = {
+        {"size", std::to_string(scenario_default_size(kind_)),
+         kind_ == ScenarioKind::kAesTtable
+             ? "state words per round pass"
+             : (kind_ == ScenarioKind::kModexp ? "bases exponentiated"
+                                               : "probe lookups")}};
+    switch (kind_) {
+      case ScenarioKind::kAesTtable:
+        out.push_back({"rounds", "2", "T-table round passes"});
+        break;
+      case ScenarioKind::kModexp:
+        out.push_back({"bits", "16", "exponent bits per base"});
+        break;
+      case ScenarioKind::kHashProbe:
+        out.push_back({"slots", "64", "table slots (power of two)"});
+        out.push_back({"fill", "750", "occupancy in per mille"});
+        break;
+    }
+    append_harness_params(out);
+    return out;
+  }
+
+  BuiltWorkload build(const WorkloadSpec& in, Variant variant) const override {
+    WorkloadSpec spec = in;
+    ScenarioConfig cfg;
+    cfg.kind = kind_;
+    switch (kind_) {
+      case ScenarioKind::kAesTtable:
+        spec.check_keys(
+            {"size", "rounds", "width", "iters", "secrets", "seed"});
+        cfg.size = resolve_defaulted(spec, "size", scenario_default_size(kind_));
+        spec.set_default_u64("rounds", cfg.rounds);
+        cfg.rounds = spec.get_u64("rounds", cfg.rounds);
+        break;
+      case ScenarioKind::kModexp:
+        spec.check_keys({"size", "bits", "width", "iters", "secrets", "seed"});
+        cfg.size = resolve_defaulted(spec, "size", scenario_default_size(kind_));
+        spec.set_default_u64("bits", cfg.bits);
+        cfg.bits = spec.get_u64("bits", cfg.bits);
+        break;
+      case ScenarioKind::kHashProbe:
+        spec.check_keys(
+            {"size", "slots", "fill", "width", "iters", "secrets", "seed"});
+        cfg.size = resolve_defaulted(spec, "size", scenario_default_size(kind_));
+        spec.set_default_u64("slots", cfg.slots);
+        spec.set_default_u64("fill", cfg.fill);
+        cfg.slots = spec.get_u64("slots", cfg.slots);
+        cfg.fill = spec.get_u64("fill", cfg.fill);
+        break;
+    }
+    apply_harness_defaults(spec);
+    cfg.seed = spec.get_u64("seed", 42);
+
+    const HarnessConfig h = harness_config_from_spec(spec, variant);
+    return from_harness(build_harness(scenario_kernel_spec(cfg), h),
+                        spec.to_string());
+  }
+
+ private:
+  static std::string common() { return ", width, iters, secrets, seed)"; }
+
+  ScenarioKind kind_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -398,6 +553,8 @@ WorkloadRegistry::WorkloadRegistry() {
   add(std::make_unique<DjpegGenerator>());
   for (const SynthKind kd : all_synth_kinds())
     add(std::make_unique<SyntheticGenerator>(kd));
+  for (const ScenarioKind kd : all_scenario_kinds())
+    add(std::make_unique<ScenarioGenerator>(kd));
 }
 
 WorkloadRegistry& WorkloadRegistry::instance() {
@@ -437,6 +594,21 @@ std::vector<std::string> WorkloadRegistry::names() const {
   for (const auto& g : gens_) out.push_back(g->name());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::string WorkloadRegistry::catalog() const {
+  std::ostringstream os;
+  for (const std::string& name : names()) {
+    const WorkloadGenerator& g = *find(name);
+    WorkloadSpec dflt;
+    dflt.name = name;
+    os << "  " << name << "  [secret width " << g.secret_width(dflt)
+       << (g.has_cte_variant() ? "" : "; no CTE variant") << "]\n";
+    os << "      " << g.summary() << "\n";
+    for (const ParamInfo& p : g.params())
+      os << "      " << p.key << "=" << p.fallback << " — " << p.help << "\n";
+  }
+  return os.str();
 }
 
 BuiltWorkload WorkloadRegistry::build(const std::string& spec_text,

@@ -60,6 +60,16 @@ struct BuiltWorkload {
   std::vector<u64> expected_results;  // host-computed mirror
 };
 
+/// One accepted parameter of a generator, for `--list-workloads` and the
+/// README catalog: the key, its default as it would appear in a canonical
+/// spec ("0" when the default is derived from other keys), and a short
+/// meaning.
+struct ParamInfo {
+  std::string key;
+  std::string fallback;
+  std::string help;
+};
+
 /// One workload source. Implementations must be stateless: build() may be
 /// called concurrently from the batch runner's worker threads.
 class WorkloadGenerator {
@@ -68,6 +78,9 @@ class WorkloadGenerator {
   virtual std::string name() const = 0;
   /// One-line description incl. accepted parameter keys (for --list).
   virtual std::string summary() const = 0;
+  /// Every accepted parameter with its default. Built-in generators all
+  /// implement this; the default is for minimal third-party generators.
+  virtual std::vector<ParamInfo> params() const { return {}; }
   /// Whether build(…, Variant::kCte) is meaningful for this source.
   virtual bool has_cte_variant() const { return true; }
   /// Number of independent secret bits `spec` exposes — the dimension the
@@ -95,6 +108,11 @@ class WorkloadRegistry {
   const WorkloadGenerator& resolve(const std::string& name) const;
   /// Registered names, sorted.
   std::vector<std::string> names() const;
+
+  /// The human-readable catalog `sempe_run --list-workloads` prints: every
+  /// generator with its summary, parameter names and defaults, the secret
+  /// width of its default spec, and whether a CTE variant exists.
+  std::string catalog() const;
 
   /// Parse `spec_text`, resolve the generator, build the variant.
   BuiltWorkload build(const std::string& spec_text, Variant variant) const;

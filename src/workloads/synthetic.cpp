@@ -14,19 +14,6 @@ using Label = ProgramBuilder::Label;
 
 namespace {
 
-/// Write `sum` to p.out_slot — plainly (natural) or guard-masked (CTE).
-void emit_out_slot(ProgramBuilder& pb, const KernelParams& p, Reg sum,
-                   Reg slot, Reg old, Reg scratch, bool cte) {
-  pb.li(slot, static_cast<i64>(p.out_slot));
-  if (cte) {
-    pb.ld(old, slot, 0);
-    emit_guard_select(pb, old, sum, scratch);
-    pb.st(old, slot, 0);
-  } else {
-    pb.st(sum, slot, 0);
-  }
-}
-
 // ---------------------------------------------------------------------------
 // ptr_chase: dependent loads over a shuffled single-cycle permutation.
 // Element e lives at byte offset e*stride in the input image and holds the

@@ -1,14 +1,20 @@
 // Property-based tests: randomly generated programs with nested secure
 // regions must (a) compute the same architectural results under SeMPE as
 // under legacy execution, and (b) be observation-indistinguishable across
-// secrets under SeMPE.
+// secrets under SeMPE. A second fuzzer drives the workload registry's
+// spec grammar: random (often malformed) `name?key=val&...` strings must
+// either build or throw SimError — never crash — and every accepted spec
+// must round-trip through its canonical form.
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "isa/program_builder.h"
 #include "core/region_verifier.h"
 #include "security/observation.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "workloads/registry.h"
 
 namespace sempe {
 namespace {
@@ -214,6 +220,124 @@ TEST_P(Fuzz, TimingAlsoSecretIndependent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
                                            144, 233, 377, 610, 987));
+
+// ---------------------------------------------------------------------------
+// Registry spec-grammar fuzzing.
+
+using workloads::BuiltWorkload;
+using workloads::Variant;
+using workloads::WorkloadRegistry;
+using workloads::WorkloadSpec;
+
+const char* pick(Rng& rng, const std::vector<const char*>& pool) {
+  return pool[rng.next_below(pool.size())];
+}
+
+/// A random workload name: usually registered, sometimes junk.
+std::string random_name(Rng& rng) {
+  static const std::vector<std::string> registered =
+      WorkloadRegistry::instance().names();
+  if (rng.next_below(10) < 7) return registered[rng.next_below(
+      registered.size())];
+  static const std::vector<const char*> junk = {
+      "",      "nope",      "synthetic.", "crypto", "micro.queens.",
+      "djpeg ", " djpeg",   "Crypto.aes", "?",      "a?b",
+  };
+  return pick(rng, junk);
+}
+
+/// A random parameter value: small/huge/malformed numerics, 0/1 strings,
+/// 0b mask literals (valid and broken), and garbage.
+std::string random_value(Rng& rng) {
+  static const std::vector<const char*> values = {
+      "0",   "1",    "2",  "3",   "4",    "6",     "8",
+      "12",  "16",   "32", "48",  "64",   "100",   "256",
+      "500", "1000", "-1", "+2",  "abc",  "",      "0x10",
+      " 7",  "7 ",   "01", "101", "1111", "0b0",   "0b1",
+      "0b101", "0b", "0bxyz", "0b2", "ppm", "gif", "png",
+      "1048577", "4294967296", "18446744073709551616",
+      "99999999999999999999",
+      "0b1111111111111111111111111111111111111111111111111111111111111111111",
+  };
+  return pick(rng, values);
+}
+
+std::string random_key(Rng& rng) {
+  static const std::vector<const char*> keys = {
+      "size",  "width",   "iters", "secrets", "seed",  "steps",
+      "stride", "taken",  "targets", "chains", "depth", "rounds",
+      "bits",  "slots",   "fill",  "format",  "pixels", "scale",
+      "bogus", "SIZE",    "",      "s pace",
+  };
+  return pick(rng, keys);
+}
+
+std::string random_spec(Rng& rng) {
+  if (rng.next_below(10) == 0) {
+    // Structural junk: broken separators, empty pairs, duplicates.
+    static const std::vector<const char*> junk = {
+        "name?",        "?x=1",       "name?x",       "name?=1",
+        "name??",       "a?x=1&&y=2", "a?x=1&x=2",    "a&x=1",
+        "a?x=1&",       "&",          "a?x==1",       "a?x=1=2",
+    };
+    return pick(rng, junk);
+  }
+  std::string spec = random_name(rng);
+  const usize n = rng.next_below(5);
+  for (usize i = 0; i < n; ++i) {
+    spec += i == 0 ? '?' : '&';
+    spec += random_key(rng);
+    spec += '=';
+    spec += random_value(rng);
+  }
+  return spec;
+}
+
+class SpecFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SpecFuzz, RandomSpecsNeverCrashAndAcceptedSpecsRoundTrip) {
+  Rng rng(GetParam() ^ 0x5bec5bec);
+  WorkloadRegistry& reg = WorkloadRegistry::instance();
+  usize accepted = 0;
+  for (usize i = 0; i < 300; ++i) {
+    const std::string spec = random_spec(rng);
+    BuiltWorkload b;
+    try {
+      b = reg.build(spec, Variant::kSecure);
+    } catch (const SimError&) {
+      continue;  // rejected with a diagnostic: the correct outcome
+    }
+    ++accepted;
+    // Accepted: the canonical spec parses, re-serializes unchanged, and
+    // rebuilds into the identical workload.
+    const WorkloadSpec parsed = WorkloadSpec::parse(b.spec);
+    EXPECT_EQ(parsed.to_string(), b.spec) << "from '" << spec << "'";
+    const BuiltWorkload c = reg.build(b.spec, Variant::kSecure);
+    EXPECT_EQ(c.spec, b.spec) << "from '" << spec << "'";
+    EXPECT_EQ(c.program.code(), b.program.code()) << "from '" << spec << "'";
+    EXPECT_EQ(c.expected_results, b.expected_results)
+        << "from '" << spec << "'";
+
+    // The CTE variant (where one exists) must round-trip too. Gate on a
+    // small resolved size: CTE quicksort's oblivious sorting network emits
+    // O(size^2) instructions by design.
+    if (!reg.resolve(parsed.name).has_cte_variant()) continue;
+    if (parsed.get_u64("size", 0) > 128) continue;
+    try {
+      const BuiltWorkload ct = reg.build(b.spec, Variant::kCte);
+      const BuiltWorkload ct2 = reg.build(ct.spec, Variant::kCte);
+      EXPECT_EQ(ct2.program.code(), ct.program.code())
+          << "from '" << spec << "'";
+    } catch (const SimError&) {
+      // e.g. CTE queens supports only a narrower size range: acceptable.
+    }
+  }
+  // The generator must actually exercise the accept path, not only reject.
+  EXPECT_GT(accepted, 10u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecFuzz,
+                         ::testing::Values(7, 11, 19, 29, 43, 71));
 
 }  // namespace
 }  // namespace sempe

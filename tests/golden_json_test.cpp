@@ -1,0 +1,116 @@
+// Golden-file regression tests for the batch-runner JSON emitters: the
+// meta header (schema_version, experiment, workload, modes, threads) is
+// pinned byte-for-byte and every point's field set and field order are
+// pinned with the (machine-dependent, churn-prone) values blanked out.
+// Schema drift — a renamed field, a dropped key, a reordered header —
+// fails one of these tests instead of silently breaking downstream
+// parsers of bench_synthetic/bench_leakage/bench_scenarios --json.
+//
+// The golden files live in tests/golden/. After an INTENDED schema
+// change, regenerate them with:  SEMPE_UPDATE_GOLDEN=1 ./golden_json_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/batch_runner.h"
+#include "workloads/scenarios.h"
+
+namespace sempe::sim {
+namespace {
+
+/// Blank every value inside the points array (`"key": value` -> `"key": _`)
+/// while leaving the meta header verbatim.
+std::string normalize_points(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  bool in_points = false;
+  while (std::getline(in, line)) {
+    if (!in_points) {
+      out << line << "\n";
+      if (line == "  \"points\": [") in_points = true;
+      continue;
+    }
+    const auto q1 = line.find('"');
+    const auto q2 = q1 == std::string::npos
+                        ? std::string::npos
+                        : line.find("\": ", q1 + 1);
+    if (q2 != std::string::npos) {
+      const bool comma = !line.empty() && line.back() == ',';
+      out << line.substr(0, q2 + 3) << "_" << (comma ? "," : "") << "\n";
+    } else {
+      out << line << "\n";  // braces / brackets
+    }
+  }
+  return out.str();
+}
+
+void check_golden(const char* fname, const std::string& normalized) {
+  const std::string path = std::string(SEMPE_GOLDEN_DIR) + "/" + fname;
+  if (std::getenv("SEMPE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream f(path);
+    ASSERT_TRUE(f.good()) << "cannot write " << path;
+    f << normalized;
+    GTEST_SKIP() << "golden file rewritten: " << path;
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "missing golden file " << path
+                        << " (regenerate with SEMPE_UPDATE_GOLDEN=1)";
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), normalized)
+      << "JSON schema drift against " << fname
+      << ". If the change is intended, regenerate the golden files with "
+         "SEMPE_UPDATE_GOLDEN=1 and update downstream parsers.";
+}
+
+TEST(GoldenJson, BenchSyntheticSchemaIsPinned) {
+  const std::vector<std::string> specs = {
+      "synthetic.cond_branch?size=32&width=1&iters=1",
+      "synthetic.stream?size=32&width=1&iters=1",
+  };
+  const auto jobs = workload_grid(specs, MicrobenchOptions{});
+  const auto points = run_workload_jobs(jobs, 1);
+  const std::string json = workload_json("synthetic", jobs, points);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  check_golden("bench_synthetic.json.golden", normalize_points(json));
+}
+
+TEST(GoldenJson, BenchLeakageSchemaIsPinned) {
+  security::AuditOptions opt;
+  opt.samples = 2;
+  const std::vector<std::string> specs = {
+      "synthetic.cond_branch?size=32&width=1&iters=1",
+      "synthetic.stream?size=32&width=1&iters=1",
+  };
+  const auto jobs = leakage_grid(specs, opt);
+  const auto points = run_leakage_jobs(jobs, 1);
+  const std::string json = leakage_json("leakage", jobs, points);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  check_golden("bench_leakage.json.golden", normalize_points(json));
+}
+
+TEST(GoldenJson, BenchScenariosByteIdenticalAcrossThreadsAndPinned) {
+  // The exact sweep bench_scenarios fans out (workloads/scenarios.h), so
+  // the golden file covers the real sweep and the --threads byte-identity
+  // guarantee is asserted here, not just in CI.
+  const auto jobs =
+      workload_grid(workloads::scenario_sweep_specs(1), MicrobenchOptions{});
+  const auto pts1 = run_workload_jobs(jobs, 1);
+  const auto pts4 = run_workload_jobs(jobs, 4);
+  const std::string j1 = workload_json("scenarios", jobs, pts1);
+  const std::string j4 = workload_json("scenarios", jobs, pts4);
+  EXPECT_EQ(j1, j4);  // byte-identical across --threads values
+  EXPECT_NE(j1.find("\"experiment\": \"scenarios\""), std::string::npos);
+  EXPECT_NE(
+      j1.find("\"workload\": \"crypto.aes,crypto.modexp,ds.hash_probe\""),
+      std::string::npos);
+  for (const auto& pt : pts1) EXPECT_TRUE(pt.results_ok) << pt.spec;
+  check_golden("bench_scenarios.json.golden", normalize_points(j1));
+}
+
+}  // namespace
+}  // namespace sempe::sim

@@ -37,6 +37,9 @@ std::string audit_spec(const std::string& name) {
   if (name == "synthetic.ibr") spec += "&size=64";
   if (name == "synthetic.ilp") spec += "&size=32";
   if (name == "synthetic.secret_mix") spec += "&size=64";
+  if (name == "crypto.aes") spec += "&size=4&rounds=1";
+  if (name == "crypto.modexp") spec += "&size=4&bits=8";
+  if (name == "ds.hash_probe") spec += "&size=8&slots=32";
   return spec;
 }
 

@@ -95,7 +95,10 @@ TEST(WorkloadRegistry, TakenRatioNotTruncatedBeforeRangeCheck) {
 
 TEST(WorkloadRegistry, AllBuiltinsRegistered) {
   const std::vector<std::string> expected = {
+      "crypto.aes",
+      "crypto.modexp",
       "djpeg",
+      "ds.hash_probe",
       "micro.fibonacci",
       "micro.ones",
       "micro.queens",
@@ -108,6 +111,50 @@ TEST(WorkloadRegistry, AllBuiltinsRegistered) {
       "synthetic.stream",
   };
   EXPECT_EQ(reg().names(), expected);
+}
+
+// The --list-workloads surface: every generator appears in the catalog
+// with its parameter names, defaults, and secret width.
+TEST(WorkloadRegistry, CatalogListsParamsDefaultsAndSecretWidth) {
+  const std::string cat = reg().catalog();
+  for (const std::string& name : reg().names()) {
+    EXPECT_NE(cat.find("  " + name + "  [secret width "), std::string::npos)
+        << name;
+    EXPECT_FALSE(reg().resolve(name).params().empty())
+        << name << ": built-in generators must declare their parameters";
+  }
+  // Parameter names and defaults, across the generator families.
+  EXPECT_NE(cat.find("size=400"), std::string::npos);    // micro.fibonacci
+  EXPECT_NE(cat.find("rounds=2"), std::string::npos);    // crypto.aes
+  EXPECT_NE(cat.find("bits=16"), std::string::npos);     // crypto.modexp
+  EXPECT_NE(cat.find("slots=64"), std::string::npos);    // ds.hash_probe
+  EXPECT_NE(cat.find("taken=500"), std::string::npos);   // synthetic
+  EXPECT_NE(cat.find("format=ppm"), std::string::npos);  // djpeg
+  EXPECT_NE(cat.find("width=1"), std::string::npos);     // harness keys
+  EXPECT_NE(cat.find("secrets=1"), std::string::npos);
+  // Secret widths: 1 for harnessed generators' default specs, 0 + no CTE
+  // for djpeg.
+  EXPECT_NE(cat.find("crypto.aes  [secret width 1]"), std::string::npos);
+  EXPECT_NE(cat.find("djpeg  [secret width 0; no CTE variant]"),
+            std::string::npos);
+}
+
+// Every parameter a generator declares is accepted by its build at its
+// declared default ("0" stands for a derived default) — the catalog
+// cannot drift from the spec checker.
+TEST(WorkloadRegistry, EveryDeclaredParamIsAcceptedAtItsDefault) {
+  for (const std::string& name : reg().names()) {
+    std::string spec = name;
+    char sep = '?';
+    for (const ParamInfo& p : reg().resolve(name).params()) {
+      spec += sep;
+      // Shrink djpeg so the default-pixels build stays test-sized.
+      const bool shrink = name == "djpeg" && p.key == "scale";
+      spec += p.key + "=" + (shrink ? "64" : p.fallback);
+      sep = '&';
+    }
+    EXPECT_NO_THROW(reg().build(spec, Variant::kSecure)) << spec;
+  }
 }
 
 TEST(WorkloadRegistry, UnknownNameThrowsListingRegistered) {
