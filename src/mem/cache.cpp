@@ -2,6 +2,19 @@
 
 namespace sempe::mem {
 
+const char* cache_stat_name(CacheStat s) {
+  switch (s) {
+    case CacheStat::kAccesses: return "accesses";
+    case CacheStat::kWrites: return "writes";
+    case CacheStat::kMisses: return "misses";
+    case CacheStat::kWritebacks: return "writebacks";
+    case CacheStat::kPrefetchFills: return "prefetch_fills";
+    case CacheStat::kCount: break;
+  }
+  SEMPE_CHECK_MSG(false, "invalid CacheStat");
+  return "";
+}
+
 Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   SEMPE_CHECK_MSG(cfg.line_bytes > 0 && is_pow2(cfg.line_bytes),
                   "cache line size must be a power of two");
@@ -14,8 +27,8 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
 }
 
 CacheAccessResult Cache::access(Addr addr, bool is_write) {
-  stats_.add("accesses");
-  if (is_write) stats_.add("writes");
+  bump(CacheStat::kAccesses);
+  if (is_write) bump(CacheStat::kWrites);
   const usize set = set_index(addr);
   const u64 tag = tag_of(addr);
   Line* base = &lines_[set * cfg_.assoc];
@@ -29,7 +42,7 @@ CacheAccessResult Cache::access(Addr addr, bool is_write) {
     }
   }
 
-  stats_.add("misses");
+  bump(CacheStat::kMisses);
   // Choose victim: first invalid way, else LRU.
   Line* victim = &base[0];
   for (usize w = 0; w < cfg_.assoc; ++w) {
@@ -45,7 +58,7 @@ CacheAccessResult Cache::access(Addr addr, bool is_write) {
     r.writeback = true;
     r.victim_line =
         (victim->tag * num_sets_ + set) * cfg_.line_bytes;
-    stats_.add("writebacks");
+    bump(CacheStat::kWritebacks);
   }
   victim->valid = true;
   victim->dirty = is_write;
@@ -61,7 +74,7 @@ bool Cache::prefetch_fill(Addr addr) {
   for (usize w = 0; w < cfg_.assoc; ++w) {
     if (base[w].valid && base[w].tag == tag) return false;
   }
-  stats_.add("prefetch_fills");
+  bump(CacheStat::kPrefetchFills);
   Line* victim = &base[0];
   for (usize w = 0; w < cfg_.assoc; ++w) {
     Line& l = base[w];
@@ -71,7 +84,7 @@ bool Cache::prefetch_fill(Addr addr) {
     }
     if (l.lru < victim->lru) victim = &l;
   }
-  if (victim->valid && victim->dirty) stats_.add("writebacks");
+  if (victim->valid && victim->dirty) bump(CacheStat::kWritebacks);
   victim->valid = true;
   victim->dirty = false;
   victim->tag = tag;
@@ -94,6 +107,15 @@ bool Cache::probe(Addr addr) const {
 void Cache::flush() {
   for (Line& l : lines_) l = Line{};
   lru_clock_ = 0;
+}
+
+StatSet Cache::export_stats() const {
+  StatSet s;
+  for (usize i = 0; i < kNumCacheStats; ++i) {
+    const CacheStat st = static_cast<CacheStat>(i);
+    s.add(cache_stat_name(st), counters_[i]);
+  }
+  return s;
 }
 
 }  // namespace sempe::mem

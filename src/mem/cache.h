@@ -2,8 +2,13 @@
 //
 // The cache tracks tags and dirty bits only (data values live in
 // MainMemory; the timing model needs hit/miss behavior, not cached bytes).
+//
+// Statistics are fixed-slot: the hot access path bumps an enum-indexed
+// u64 array (one add per event, no map, no string), and the cold
+// export_stats() renders the named StatSet view reports are built from.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -28,6 +33,21 @@ struct CacheAccessResult {
   Addr victim_line = 0;    // line address of the evicted victim (if any)
 };
 
+/// Fixed counter slots. Order is the render order of export_stats().
+enum class CacheStat : usize {
+  kAccesses = 0,   // demand accesses
+  kWrites,         // demand writes (subset of accesses)
+  kMisses,         // demand misses
+  kWritebacks,     // dirty victims evicted (demand + prefetch victims)
+  kPrefetchFills,  // lines installed by a prefetcher
+  kCount,
+};
+
+inline constexpr usize kNumCacheStats = static_cast<usize>(CacheStat::kCount);
+
+/// The stable exported name of each slot ("accesses", "misses", ...).
+const char* cache_stat_name(CacheStat s);
+
 class Cache {
  public:
   explicit Cache(const CacheConfig& cfg);
@@ -50,11 +70,19 @@ class Cache {
   void flush();
 
   // Statistics.
-  u64 demand_accesses() const { return stats_.get("accesses"); }
-  u64 demand_misses() const { return stats_.get("misses"); }
-  double miss_rate() const { return stats_.ratio("misses", "accesses"); }
-  const StatSet& stats() const { return stats_; }
-  void reset_stats() { stats_.clear(); }
+  u64 stat(CacheStat s) const { return counters_[static_cast<usize>(s)]; }
+  u64 demand_accesses() const { return stat(CacheStat::kAccesses); }
+  u64 demand_misses() const { return stat(CacheStat::kMisses); }
+  double miss_rate() const {
+    const u64 a = demand_accesses();
+    return a == 0 ? 0.0
+                  : static_cast<double>(demand_misses()) /
+                        static_cast<double>(a);
+  }
+  /// Cold path: render the named view ("accesses", "writes", "misses",
+  /// "writebacks", "prefetch_fills") for reports and JSON emitters.
+  StatSet export_stats() const;
+  void reset_stats() { counters_.fill(0); }
 
  private:
   struct Line {
@@ -69,11 +97,13 @@ class Cache {
   }
   u64 tag_of(Addr a) const { return a / cfg_.line_bytes / num_sets_; }
 
+  void bump(CacheStat s) { ++counters_[static_cast<usize>(s)]; }
+
   CacheConfig cfg_;
   usize num_sets_;
   std::vector<Line> lines_;  // num_sets_ * assoc, set-major
   u64 lru_clock_ = 0;
-  StatSet stats_;
+  std::array<u64, kNumCacheStats> counters_{};
 };
 
 }  // namespace sempe::mem

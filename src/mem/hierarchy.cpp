@@ -10,9 +10,22 @@ Hierarchy::Hierarchy(const HierarchyConfig& cfg)
       stride_(cfg.stride),
       stream_(cfg.stream) {}
 
+const char* hier_stat_name(HierStat s) {
+  switch (s) {
+    case HierStat::kInstrAccesses: return "instr_accesses";
+    case HierStat::kDataAccesses: return "data_accesses";
+    case HierStat::kDramAccesses: return "dram_accesses";
+    case HierStat::kWritebackFills: return "writeback_fills";
+    case HierStat::kCount: break;
+  }
+  SEMPE_CHECK_MSG(false, "invalid HierStat");
+  return "";
+}
+
 Cycle Hierarchy::access_l2(Addr addr, bool is_write) {
   const CacheAccessResult r = l2_->access(addr, is_write);
   if (r.hit) return cfg_.l2_hit_latency;
+  bump(HierStat::kDramAccesses);
   if (cfg_.enable_prefetchers) {
     for (Addr p : stream_.observe_miss(addr)) l2_->prefetch_fill(p);
   }
@@ -20,16 +33,19 @@ Cycle Hierarchy::access_l2(Addr addr, bool is_write) {
 }
 
 Cycle Hierarchy::access_instr(Addr pc) {
+  bump(HierStat::kInstrAccesses);
   const CacheAccessResult r = il1_->access(pc, /*is_write=*/false);
   if (r.hit) return cfg_.il1_hit_latency;
   return cfg_.il1_hit_latency + access_l2(pc, false);
 }
 
 Cycle Hierarchy::access_data(Addr addr, bool is_write, Addr pc) {
+  bump(HierStat::kDataAccesses);
   const CacheAccessResult r = dl1_->access(addr, is_write);
   Cycle lat = cfg_.dl1_hit_latency;
   if (!r.hit) lat += access_l2(addr, is_write);
   if (r.writeback) {
+    bump(HierStat::kWritebackFills);
     // Dirty victim written back into L2; latency is off the critical path
     // (write buffer), but it still perturbs L2 contents.
     l2_->prefetch_fill(r.victim_line);
@@ -58,6 +74,19 @@ void Hierarchy::reset_stats() {
   il1_->reset_stats();
   dl1_->reset_stats();
   l2_->reset_stats();
+  counters_.fill(0);
+}
+
+StatSet Hierarchy::export_stats() const {
+  StatSet s;
+  for (usize i = 0; i < kNumHierStats; ++i)
+    s.add(hier_stat_name(static_cast<HierStat>(i)), counters_[i]);
+  for (const Cache* c : {il1_.get(), dl1_.get(), l2_.get()}) {
+    const StatSet cs = c->export_stats();
+    for (const auto& [k, v] : cs.counters())
+      s.add(c->config().name + "." + k, v);
+  }
+  return s;
 }
 
 u64 Hierarchy::state_digest() const {

@@ -6,6 +6,7 @@
 // model); see DESIGN.md §6.
 #pragma once
 
+#include <array>
 #include <memory>
 
 #include "mem/cache.h"
@@ -13,6 +14,21 @@
 #include "util/stats.h"
 
 namespace sempe::mem {
+
+/// Fixed counter slots for hierarchy-level events (the per-cache hit/miss
+/// slots live in each Cache). Order is the render order of export_stats().
+enum class HierStat : usize {
+  kInstrAccesses = 0,  // access_instr() calls
+  kDataAccesses,       // access_data() calls
+  kDramAccesses,       // L2 misses that went to DRAM
+  kWritebackFills,     // dirty L1 victims installed into L2
+  kCount,
+};
+
+inline constexpr usize kNumHierStats = static_cast<usize>(HierStat::kCount);
+
+/// The stable exported name of each slot ("instr_accesses", ...).
+const char* hier_stat_name(HierStat s);
 
 struct HierarchyConfig {
   CacheConfig il1{.name = "IL1", .size_bytes = 16 * 1024, .assoc = 2};
@@ -45,6 +61,13 @@ class Hierarchy {
   void flush();
   void reset_stats();
 
+  u64 stat(HierStat s) const { return counters_[static_cast<usize>(s)]; }
+
+  /// Cold path: the named view of the whole hierarchy — hierarchy-level
+  /// slots plus each cache's counters prefixed with its configured name
+  /// ("IL1.accesses", "DL1.misses", ...).
+  StatSet export_stats() const;
+
   /// A digest of the resident line set, used by the security checker to
   /// compare attacker-visible cache state across secrets.
   u64 state_digest() const;
@@ -55,7 +78,10 @@ class Hierarchy {
   /// L2 access shared by both L1s. Returns latency beyond the L1 miss.
   Cycle access_l2(Addr addr, bool is_write);
 
+  void bump(HierStat s) { ++counters_[static_cast<usize>(s)]; }
+
   HierarchyConfig cfg_;
+  std::array<u64, kNumHierStats> counters_{};
   std::unique_ptr<Cache> il1_;
   std::unique_ptr<Cache> dl1_;
   std::unique_ptr<Cache> l2_;

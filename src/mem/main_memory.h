@@ -2,11 +2,15 @@
 //
 // Pages are allocated lazily and read as zero before first write, so
 // workloads may use large address ranges without host-memory cost.
+// reset() recycles page allocations into a free pool, which lets a sweep
+// worker reuse one MainMemory across experiment points (sim/simulator.cpp)
+// instead of re-allocating the working set per run.
 #pragma once
 
 #include <array>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "util/check.h"
 #include "util/types.h"
@@ -45,6 +49,18 @@ class MainMemory {
 
   usize num_touched_pages() const { return pages_.size(); }
 
+  /// Forget all contents but keep the page allocations: every touched page
+  /// is zeroed and parked on a free pool that page() draws from before
+  /// asking the allocator. After reset() the memory reads as all-zero,
+  /// exactly like a freshly constructed one.
+  void reset() {
+    for (auto& [idx, p] : pages_) {
+      p->fill(0);
+      free_pool_.push_back(std::move(p));
+    }
+    pages_.clear();
+  }
+
  private:
   using Page = std::array<u8, kPageSize>;
 
@@ -54,11 +70,19 @@ class MainMemory {
   }
   Page& page(Addr a) {
     auto& p = pages_[a >> kPageBits];
-    if (!p) p = std::make_unique<Page>(Page{});
+    if (!p) {
+      if (!free_pool_.empty()) {
+        p = std::move(free_pool_.back());  // already zeroed by reset()
+        free_pool_.pop_back();
+      } else {
+        p = std::make_unique<Page>(Page{});
+      }
+    }
     return *p;
   }
 
   std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+  std::vector<std::unique_ptr<Page>> free_pool_;  // zeroed, ready for reuse
 };
 
 }  // namespace sempe::mem

@@ -49,12 +49,23 @@ Cycle Pipeline::fetch_of(const DynOp& op) {
     const Cycle lat = hier_->access_instr(op.pc);
     cur_fetch_line_ = line;
     // Hits are pipelined; only the latency beyond a hit stalls fetch.
-    line_ready_ = fetch_floor_ + (lat - cfg_.memory.il1_hit_latency);
+    // checked_sub: a latency below il1_hit_latency (e.g. from a future
+    // hierarchy variant with a line buffer) must clamp to "ready now", not
+    // wrap line_ready_ to ~2^64 and deadlock fetch.
+    line_ready_ = fetch_floor_ + checked_sub(lat, cfg_.memory.il1_hit_latency);
   }
   return fetch_slots_.alloc(std::max(fetch_floor_, line_ready_));
 }
 
 void Pipeline::process(const DynOp& op) {
+  if (on_retire)
+    process_impl<true>(op);
+  else
+    process_impl<false>(op);
+}
+
+template <bool kNotify>
+void Pipeline::process_impl(const DynOp& op) {
   const isa::OpInfo& info = isa::op_info(op.ins.op);
   const bool is_fp_class =
       info.op_class == OpClass::kFpAlu || info.op_class == OpClass::kFpDiv;
@@ -87,13 +98,30 @@ void Pipeline::process(const DynOp& op) {
   switch (info.op_class) {
     case OpClass::kLoad: {
       ++stats_.loads;
+      // RAW detection is 8-byte granular; a load whose bytes straddle an
+      // 8-byte boundary must consult BOTH chunks, or a partial overlap with
+      // an older store in the second chunk silently misses the dependency.
       const Addr key = op.mem_addr & ~7ull;
+      const Addr key_hi =
+          (op.mem_addr + (op.mem_size > 0 ? op.mem_size - 1 : 0)) & ~7ull;
       auto it = store_buffer_.find(key);
       if (it != store_buffer_.end())
         iss = std::max(iss, it->second.data_ready);  // memory RAW
+      bool crosses_hit = false;
+      if (key_hi != key) {
+        auto hi = store_buffer_.find(key_hi);
+        if (hi != store_buffer_.end()) {
+          iss = std::max(iss, hi->second.data_ready);
+          crosses_hit = true;
+        }
+      }
       iss = load_ports_.alloc(iss);
       iss = issue_slots_.alloc(iss);
-      if (it != store_buffer_.end() && iss < it->second.commit) {
+      // Forwarding needs the whole value from one store-buffer chunk; a
+      // boundary-crossing load that also depends on the high chunk reads
+      // from the cache instead.
+      if (it != store_buffer_.end() && iss < it->second.commit &&
+          !crosses_hit) {
         ++stats_.store_forwards;
         complete = iss + cfg_.forward_latency;
       } else {
@@ -157,6 +185,11 @@ void Pipeline::process(const DynOp& op) {
   if (info.op_class == OpClass::kStore) {
     sq_.push(cm);
     store_buffer_[op.mem_addr & ~7ull] = {complete, cm};
+    // A store straddling an 8-byte boundary registers both chunks so later
+    // loads of either chunk see the dependency.
+    const Addr key_hi =
+        (op.mem_addr + (op.mem_size > 0 ? op.mem_size - 1 : 0)) & ~7ull;
+    if (key_hi != (op.mem_addr & ~7ull)) store_buffer_[key_hi] = {complete, cm};
   }
   if (writes_int || writes_fp) {
     reg_ready_[op.ins.rd] = complete;
@@ -165,7 +198,7 @@ void Pipeline::process(const DynOp& op) {
 
   handle_control(op, f, complete, cm);
 
-  if (on_retire)
+  if constexpr (kNotify)
     on_retire(op, OpTimestamps{f, rn, iss, complete, cm});
 
   ++processed_;
@@ -305,8 +338,40 @@ void Pipeline::handle_control(const DynOp& op, Cycle f, Cycle complete,
 }
 
 PipelineStats Pipeline::run() {
-  while (!core_->halted()) process(core_->step());
+  // Hoist the retire-hook test out of the per-instruction loop: the sweep
+  // path (no recorder attached) runs the instantiation with notification
+  // compiled out entirely.
+  if (on_retire) {
+    while (!core_->halted()) process_impl<true>(core_->step());
+  } else {
+    while (!core_->halted()) process_impl<false>(core_->step());
+  }
   return stats_;
+}
+
+StatSet PipelineStats::export_stats() const {
+  StatSet s;
+  s.add("cycles", cycles);
+  s.add("instructions", instructions);
+  s.add("cond_branches", cond_branches);
+  s.add("branch_mispredicts", branch_mispredicts);
+  s.add("indirect_mispredicts", indirect_mispredicts);
+  s.add("btb_misses", btb_misses);
+  s.add("loads", loads);
+  s.add("stores", stores);
+  s.add("store_forwards", store_forwards);
+  s.add("sjmp_executed", sjmp_executed);
+  s.add("secure_regions_completed", secure_regions_completed);
+  s.add("spm_bytes", spm_bytes);
+  s.add("spm_transfer_cycles", spm_transfer_cycles);
+  s.add("drain_stall_cycles", drain_stall_cycles);
+  s.add("il1_accesses", il1_accesses);
+  s.add("il1_misses", il1_misses);
+  s.add("dl1_accesses", dl1_accesses);
+  s.add("dl1_misses", dl1_misses);
+  s.add("l2_accesses", l2_accesses);
+  s.add("l2_misses", l2_misses);
+  return s;
 }
 
 u64 Pipeline::predictor_digest() const {

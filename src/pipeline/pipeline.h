@@ -74,6 +74,10 @@ struct PipelineStats {
   double dl1_miss_rate() const { return rate(dl1_misses, dl1_accesses); }
   double l2_miss_rate() const { return rate(l2_misses, l2_accesses); }
 
+  /// Cold path: render the named view of every slot above ("cycles",
+  /// "instructions", "cond_branches", ...) for reports and aggregation.
+  StatSet export_stats() const;
+
  private:
   static double rate(u64 m, u64 a) {
     return a == 0 ? 0.0 : static_cast<double>(m) / static_cast<double>(a);
@@ -98,7 +102,9 @@ class Pipeline {
   /// timestamps, in program order.
   std::function<void(const cpu::DynOp&, const OpTimestamps&)> on_retire;
 
-  /// Run the program to HALT; returns the final statistics.
+  /// Run the program to HALT; returns the final statistics. The retire
+  /// hook is tested once up front: the no-observer sweep path runs a loop
+  /// instantiation with the notification statically compiled out.
   PipelineStats run();
 
   /// Process a single dynamic instruction (exposed for tests).
@@ -132,6 +138,10 @@ class Pipeline {
   Cycle fetch_of(const cpu::DynOp& op);
   void handle_control(const cpu::DynOp& op, Cycle fetch, Cycle complete,
                       Cycle commit);
+  /// The body of process(); kNotify compiles the retire-hook dispatch in or
+  /// out so the hot sweep path (no recorder attached) pays nothing for it.
+  template <bool kNotify>
+  void process_impl(const cpu::DynOp& op);
 
   cpu::FunctionalCore* core_;
   PipelineConfig cfg_;

@@ -7,6 +7,8 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "workloads/scenarios.h"
+#include "workloads/synthetic.h"
 
 namespace sempe::sim {
 
@@ -137,6 +139,15 @@ std::vector<LeakagePoint> run_leakage_jobs(
   });
 }
 
+std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
+                                     usize threads) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_indexed(jobs.size(), threads, [&](usize i) {
+    const PerfJob& j = jobs[i];
+    return measure_perf(j.spec, j.opt);
+  });
+}
+
 std::vector<MicrobenchJob> microbench_grid(
     const std::vector<workloads::Kind>& kinds, const std::vector<usize>& widths,
     const MicrobenchOptions& opt) {
@@ -201,6 +212,32 @@ std::vector<LeakageJob> leakage_grid(const std::vector<std::string>& specs,
     jobs.push_back(std::move(j));
   }
   return jobs;
+}
+
+std::vector<PerfJob> perf_grid(const std::vector<std::string>& specs,
+                               const MicrobenchOptions& opt) {
+  std::vector<PerfJob> jobs;
+  jobs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    PerfJob j;
+    j.label = spec;
+    j.spec = spec;
+    j.opt = opt;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<std::string> perf_sweep_specs(usize iters) {
+  std::vector<std::string> specs;
+  const std::string tail =
+      "?width=4&iters=" + std::to_string(iters) + "&secrets=1";
+  for (const workloads::SynthKind kind : workloads::all_synth_kinds())
+    specs.push_back(std::string("synthetic.") + workloads::synth_name(kind) +
+                    tail);
+  for (const workloads::ScenarioKind kind : workloads::all_scenario_kinds())
+    specs.push_back(std::string(workloads::scenario_name(kind)) + tail);
+  return specs;
 }
 
 const std::vector<workloads::Kind>& all_kinds() {
@@ -368,6 +405,66 @@ std::string leakage_json(const std::string& experiment,
     out += i + 1 == points.size() ? "    }\n" : "    },\n";
   }
   json_footer(out);
+  return out;
+}
+
+std::string perf_json(const std::string& experiment,
+                      const std::vector<PerfJob>& jobs,
+                      const std::vector<PerfPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  // Header workload field: the distinct generator names, in job order.
+  std::vector<std::string> seen;
+  std::string generators;
+  for (const PerfJob& j : jobs) {
+    const std::string name = j.spec.substr(0, j.spec.find('?'));
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    if (!generators.empty()) generators += ',';
+    generators += name;
+  }
+  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+  for (usize i = 0; i < points.size(); ++i) {
+    const PerfPoint& pp = points[i];
+    const WorkloadPoint& p = pp.point;
+    out += "    {\n";
+    // Deterministic fields first (byte-identical across --threads/hosts)...
+    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "spec", p.spec);
+    append_kv_u64(out, "results_ok", p.results_ok ? 1 : 0);
+    append_kv_u64(out, "baseline_cycles", p.baseline_cycles);
+    append_kv_u64(out, "sempe_cycles", p.sempe_cycles);
+    append_kv_u64(out, "cte_cycles", p.cte_cycles);
+    append_kv_u64(out, "baseline_instructions", p.baseline_instructions);
+    append_kv_u64(out, "sempe_instructions", p.sempe_instructions);
+    append_kv_u64(out, "cte_instructions", p.cte_instructions);
+    append_kv_u64(out, "total_instructions", pp.simulated_instructions());
+    // ...then the wall-clock measurement (the only nondeterministic lines;
+    // strip_perf_timing removes exactly these).
+    append_kv_f(out, "wall_ms", pp.wall_seconds * 1e3);
+    append_kv_f(out, "simulated_mips", pp.simulated_mips());
+    append_kv_f(out, "ns_per_instr", pp.ns_per_instruction(), /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+std::string strip_perf_timing(const std::string& json) {
+  static const char* const kTimingKeys[] = {"\"wall_ms\"", "\"simulated_mips\"",
+                                            "\"ns_per_instr\""};
+  std::string out;
+  out.reserve(json.size());
+  usize pos = 0;
+  while (pos < json.size()) {
+    usize eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size() - 1;
+    const std::string line = json.substr(pos, eol - pos + 1);
+    bool timing = false;
+    for (const char* key : kTimingKeys)
+      timing = timing || line.find(key) != std::string::npos;
+    if (!timing) out += line;
+    pos = eol + 1;
+  }
   return out;
 }
 

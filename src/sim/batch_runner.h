@@ -109,6 +109,15 @@ struct LeakageJob {
   security::AuditOptions opt{};
 };
 
+/// One workload spec timed for host throughput (see measure_perf). The
+/// job form is identical to WorkloadJob; the result additionally carries
+/// wall-clock fields.
+struct PerfJob {
+  std::string label;
+  std::string spec;
+  MicrobenchOptions opt{};
+};
+
 /// Run every job through measure_microbench / measure_djpeg /
 /// measure_workload / measure_leakage on `threads` workers; results come
 /// back in job order.
@@ -120,6 +129,8 @@ std::vector<WorkloadPoint> run_workload_jobs(
     const std::vector<WorkloadJob>& jobs, usize threads);
 std::vector<LeakagePoint> run_leakage_jobs(
     const std::vector<LeakageJob>& jobs, usize threads);
+std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
+                                     usize threads);
 
 /// Cartesian sweep (kind-major, so a figure's series stay contiguous).
 std::vector<MicrobenchJob> microbench_grid(
@@ -134,6 +145,13 @@ std::vector<WorkloadJob> workload_grid(const std::vector<std::string>& specs,
                                        const MicrobenchOptions& opt);
 std::vector<LeakageJob> leakage_grid(const std::vector<std::string>& specs,
                                      const security::AuditOptions& opt);
+std::vector<PerfJob> perf_grid(const std::vector<std::string>& specs,
+                               const MicrobenchOptions& opt);
+
+/// The representative registry specs bench_perf times: every synthetic
+/// kernel plus every crypto.*/ds.* scenario at the widest sweep setting
+/// (width 4, all secrets true — every mode executes every level).
+std::vector<std::string> perf_sweep_specs(usize iters);
 
 /// The four Fig. 7 microbenchmark kinds.
 const std::vector<workloads::Kind>& all_kinds();
@@ -163,6 +181,20 @@ std::string workload_json(const std::string& experiment,
 std::string leakage_json(const std::string& experiment,
                          const std::vector<LeakageJob>& jobs,
                          const std::vector<LeakagePoint>& points);
+
+/// Perf results. Unlike every other document this one intentionally
+/// carries wall-clock fields (wall_ms, simulated_mips, ns_per_instr) —
+/// they are the measurement. All OTHER fields stay deterministic and
+/// thread-count invariant; strip_perf_timing() removes the timing lines so
+/// tests and CI can byte-compare the deterministic remainder.
+std::string perf_json(const std::string& experiment,
+                      const std::vector<PerfJob>& jobs,
+                      const std::vector<PerfPoint>& points);
+
+/// Drop the wall-clock lines ("wall_ms", "simulated_mips",
+/// "ns_per_instr") from a perf_json document, leaving the deterministic
+/// fields for byte comparison across --threads values or hosts.
+std::string strip_perf_timing(const std::string& json);
 
 // ---------------------------------------------------------------------------
 // Shared bench CLI.

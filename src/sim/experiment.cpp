@@ -1,5 +1,6 @@
 #include "sim/experiment.h"
 
+#include <chrono>
 #include <cstdlib>
 
 namespace sempe::sim {
@@ -168,6 +169,17 @@ LeakagePoint measure_leakage(const std::string& spec,
                              const security::AuditOptions& opt) {
   LeakagePoint pt;
   pt.audit = security::audit_workload(spec, opt);
+  return pt;
+}
+
+PerfPoint measure_perf(const std::string& spec,
+                       const MicrobenchOptions& opt) {
+  PerfPoint pt;
+  const auto start = std::chrono::steady_clock::now();
+  pt.point = measure_workload(spec, opt);
+  pt.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return pt;
 }
 

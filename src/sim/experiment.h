@@ -155,6 +155,37 @@ struct LeakagePoint {
 LeakagePoint measure_leakage(const std::string& spec,
                              const security::AuditOptions& opt = {});
 
+/// One workload point with host wall-clock attached: the throughput unit
+/// of the bench_perf harness. Everything inside `point` is deterministic
+/// simulation output; the wall/derived fields are the only
+/// machine-dependent quantities the perf JSON carries.
+struct PerfPoint {
+  WorkloadPoint point;
+  double wall_seconds = 0.0;  // host time for the whole mode matrix
+
+  /// Simulated instructions retired across every executed mode.
+  u64 simulated_instructions() const {
+    return point.baseline_instructions + point.sempe_instructions +
+           point.cte_instructions;
+  }
+  /// Millions of simulated instructions per host second.
+  double simulated_mips() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(simulated_instructions()) /
+                     (wall_seconds * 1e6);
+  }
+  /// Host nanoseconds per simulated instruction.
+  double ns_per_instruction() const {
+    const u64 n = simulated_instructions();
+    return n == 0 ? 0.0 : wall_seconds * 1e9 / static_cast<double>(n);
+  }
+};
+
+/// measure_workload(spec, opt) wrapped in a wall-clock measurement.
+PerfPoint measure_perf(const std::string& spec,
+                       const MicrobenchOptions& opt = {});
+
 /// Benchmark scaling knobs from the environment (so `make bench` stays
 /// fast by default but full-size runs are one env var away):
 ///   SEMPE_BENCH_ITERS  — microbenchmark iterations (default 60)

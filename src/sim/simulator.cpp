@@ -4,6 +4,22 @@
 
 namespace sempe::sim {
 
+namespace {
+
+// Per-worker scratch arena. Sweep workers (sim/batch_runner.h run_indexed)
+// call run()/run_functional() for thousands of points; reusing one
+// MainMemory per thread turns per-run page allocation into a one-time cost
+// per worker (reset() zeroes and pools the touched pages). Runs never
+// nest on a thread and nothing escapes a run un-copied, so handing out the
+// same object sequentially is safe.
+mem::MainMemory& scratch_memory() {
+  thread_local mem::MainMemory memory;
+  memory.reset();
+  return memory;
+}
+
+}  // namespace
+
 std::string first_result_mismatch(const std::vector<u64>& probed,
                                   const std::vector<u64>& expected) {
   if (probed == expected) return "";
@@ -18,29 +34,31 @@ std::string first_result_mismatch(const std::vector<u64>& probed,
 }
 
 RunResult run(const isa::Program& program, const RunConfig& cfg) {
-  mem::MainMemory memory;
+  mem::MainMemory& memory = scratch_memory();
   cpu::CoreConfig core_cfg = cfg.core;
   core_cfg.mode = cfg.mode;
   cpu::FunctionalCore core(&program, &memory, core_cfg);
 
-  security::ObservationRecorder recorder(cfg.pipe.memory.dl1.line_bytes);
-  if (cfg.record_observations) recorder.attach(core);
-
   pipeline::Pipeline pipe(&core, cfg.pipe);
   RunResult r;
-  r.stats = pipe.run();
-  r.instructions = core.instructions_executed();
-  r.final_state = core.state();
-  r.jb_high_water = core.jb_table().high_water();
-
   if (cfg.record_observations) {
+    security::ObservationRecorder recorder(cfg.pipe.memory.dl1.line_bytes);
+    recorder.attach(core);
+    r.stats = pipe.run();
     recorder.set_timing(r.stats.cycles);
     recorder.set_predictor_digest(pipe.predictor_digest());
     recorder.set_cache_digest(pipe.memory().state_digest());
     r.trace = recorder.trace();
   } else {
+    // Timing-only sweep path: no recorder exists, the core hooks stay
+    // empty, and the pipeline's retire notification is compiled out
+    // (Pipeline::run dispatches the hook-free loop).
+    r.stats = pipe.run();
     r.trace.recorded = 0;  // nothing was observed this run
   }
+  r.instructions = core.instructions_executed();
+  r.final_state = core.state();
+  r.jb_high_water = core.jb_table().high_water();
   for (usize i = 0; i < cfg.probe_words; ++i)
     r.probed.push_back(memory.read_u64(cfg.probe_addr + i * 8));
   return r;
@@ -51,7 +69,7 @@ FunctionalResult run_functional(const isa::Program& program,
                                 const cpu::CoreConfig& core_cfg,
                                 Addr probe_addr, usize probe_words,
                                 usize line_bytes) {
-  mem::MainMemory memory;
+  mem::MainMemory& memory = scratch_memory();
   cpu::CoreConfig cc = core_cfg;
   cc.mode = mode;
   cpu::FunctionalCore core(&program, &memory, cc);

@@ -39,6 +39,11 @@ constexpr i64 sign_extend(u64 x, u32 n) {
   return static_cast<i64>((v ^ m) - m);
 }
 
+/// Saturating unsigned subtraction: a - b, clamped at 0 instead of
+/// wrapping. Guards cycle arithmetic where an unexpected small latency
+/// would otherwise wrap a deadline to ~2^64 and deadlock the model.
+constexpr u64 checked_sub(u64 a, u64 b) { return a >= b ? a - b : 0; }
+
 /// Fold (xor-reduce) x down to n bits. Used for predictor index hashing.
 constexpr u64 fold_bits(u64 x, u32 n) {
   u64 r = 0;

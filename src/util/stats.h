@@ -1,11 +1,23 @@
 // A small named-counter registry for simulation statistics.
 //
-// Components register counters by name; the simulator facade dumps them and
-// benchmarks read them to compute derived metrics (miss rates, CPI, ...).
+// StatSet is the *cold* reporting surface: hot simulation loops keep
+// enum-indexed fixed-slot counter arrays (see mem/cache.h,
+// pipeline/pipeline.h) and render them into a StatSet via export_stats()
+// only when a report or JSON document is built. Nothing on a simulated
+// hot path should touch a StatSet.
+//
+// Two kinds of entries are tracked:
+//   counters — monotonic event counts written via add(); merge() sums them.
+//   gauges   — point-in-time levels written via set() (final occupancies,
+//              high-water marks); merge() takes the maximum, which is the
+//              only order-independent aggregate that stays meaningful when
+//              per-run levels are combined across a sweep. (Summing a
+//              "final occupancy" over 20 runs reports nonsense.)
 #pragma once
 
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 
 #include "util/check.h"
@@ -15,13 +27,17 @@ namespace sempe {
 
 class StatSet {
  public:
-  /// Increment (creating at zero if absent).
+  /// Increment a counter (creating at zero if absent).
   void add(const std::string& name, u64 delta = 1) { counters_[name] += delta; }
 
-  /// Overwrite a value (for gauges such as final occupancies).
-  void set(const std::string& name, u64 value) { counters_[name] = value; }
+  /// Overwrite a gauge value (final occupancies, high-water marks). The
+  /// name is remembered as a gauge so merge() aggregates it by max, not sum.
+  void set(const std::string& name, u64 value) {
+    counters_[name] = value;
+    gauges_.insert(name);
+  }
 
-  /// Read a counter; absent counters read as zero.
+  /// Read an entry; absent entries read as zero.
   u64 get(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
@@ -29,18 +45,35 @@ class StatSet {
 
   bool has(const std::string& name) const { return counters_.count(name) > 0; }
 
+  /// True when the entry was written via set() (here or in a merged set).
+  bool is_gauge(const std::string& name) const {
+    return gauges_.count(name) > 0;
+  }
+
   /// Ratio helper: numerator/denominator, 0 if the denominator is zero.
   double ratio(const std::string& num, const std::string& den) const {
     const u64 d = get(den);
     return d == 0 ? 0.0 : static_cast<double>(get(num)) / static_cast<double>(d);
   }
 
-  void clear() { counters_.clear(); }
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+  }
 
-  /// Merge other into this (summing counters). Used to aggregate per-run
-  /// statistics across experiment sweeps.
+  /// Merge other into this: counters sum; gauges (entries set() on either
+  /// side) take the maximum. Used to aggregate per-run statistics across
+  /// experiment sweeps.
   void merge(const StatSet& other) {
-    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+    for (const auto& [k, v] : other.counters_) {
+      if (gauges_.count(k) > 0 || other.gauges_.count(k) > 0) {
+        u64& mine = counters_[k];
+        if (v > mine) mine = v;
+        gauges_.insert(k);
+      } else {
+        counters_[k] += v;
+      }
+    }
   }
 
   const std::map<std::string, u64>& counters() const { return counters_; }
@@ -51,6 +84,7 @@ class StatSet {
 
  private:
   std::map<std::string, u64> counters_;
+  std::set<std::string> gauges_;  // names written via set()
 };
 
 }  // namespace sempe

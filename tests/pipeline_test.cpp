@@ -148,6 +148,70 @@ TEST(PipelineTiming, StoreForwardingObserved) {
   EXPECT_GT(s.store_forwards, 0u);
 }
 
+TEST(PipelineTiming, BoundaryCrossingStoreIsSeenByChunkAlignedLoad) {
+  // Regression: RAW detection keys the store buffer on addr & ~7, and a
+  // store whose bytes straddle an 8-byte boundary used to register only
+  // its low chunk — a later load of the high chunk issued without waiting
+  // for the store's data. Both chunks are registered now; the load's issue
+  // must not precede the readiness of the store data it overlaps.
+  ProgramBuilder pb;
+  const Addr buf = pb.alloc(32, 8);
+  pb.li(1, static_cast<i64>(buf));
+  pb.li(2, 3);
+  // Long dependency chain so the store's data is late relative to when an
+  // independent load could otherwise issue.
+  for (int i = 0; i < 24; ++i) pb.mul(2, 2, 2);
+  pb.st(2, 1, 4);  // bytes [buf+4, buf+12): chunks buf and buf+8
+  pb.ld(3, 1, 8);  // reads chunk buf+8 — overlaps the store's high bytes
+  pb.halt();
+
+  auto prog = pb.build();
+  mem::MainMemory memory;
+  cpu::FunctionalCore core(&prog, &memory);
+  pipeline::Pipeline pipe(&core, {});
+  Cycle store_complete = 0, load_issue = 0;
+  pipe.on_retire = [&](const cpu::DynOp& op,
+                       const pipeline::OpTimestamps& ts) {
+    if (op.is_mem && op.is_store && op.mem_addr == buf + 4)
+      store_complete = ts.complete;
+    if (op.is_mem && !op.is_store && op.mem_addr == buf + 8)
+      load_issue = ts.issue;
+  };
+  pipe.run();
+  ASSERT_GT(store_complete, 0u);
+  ASSERT_GT(load_issue, 0u);
+  EXPECT_GE(load_issue, store_complete);  // the RAW dependency is observed
+}
+
+TEST(PipelineTiming, BoundaryCrossingLoadConsultsBothChunks) {
+  // The dual: a chunk-aligned store followed by a load whose bytes cross
+  // into the store's chunk from below. The load must wait even though its
+  // own base address hashes to the other chunk.
+  ProgramBuilder pb;
+  const Addr buf = pb.alloc(32, 8);
+  pb.li(1, static_cast<i64>(buf));
+  pb.li(2, 3);
+  for (int i = 0; i < 24; ++i) pb.mul(2, 2, 2);
+  pb.st(2, 1, 8);  // chunk buf+8 only
+  pb.ld(3, 1, 4);  // bytes [buf+4, buf+12): low chunk buf, high chunk buf+8
+  pb.halt();
+
+  auto prog = pb.build();
+  mem::MainMemory memory;
+  cpu::FunctionalCore core(&prog, &memory);
+  pipeline::Pipeline pipe(&core, {});
+  Cycle store_complete = 0, load_issue = 0;
+  pipe.on_retire = [&](const cpu::DynOp& op,
+                       const pipeline::OpTimestamps& ts) {
+    if (op.is_mem && op.is_store) store_complete = ts.complete;
+    if (op.is_mem && !op.is_store) load_issue = ts.issue;
+  };
+  pipe.run();
+  ASSERT_GT(store_complete, 0u);
+  ASSERT_GT(load_issue, 0u);
+  EXPECT_GE(load_issue, store_complete);
+}
+
 TEST(PipelineTiming, CacheStatsPopulated) {
   ProgramBuilder pb;
   const Addr buf = pb.alloc(4096, 64);

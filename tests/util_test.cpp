@@ -167,6 +167,56 @@ TEST(Stats, Merge) {
   EXPECT_EQ(a.get("y"), 5u);
 }
 
+TEST(Stats, MergeTreatsGaugesByMaxNotSum) {
+  // Regression: merge() used to sum gauge values written via set() — a
+  // sweep that merged per-run "final occupancy" gauges reported the sum of
+  // the occupancies, which is nonsense. Gauges now aggregate by max.
+  StatSet a, b;
+  a.add("accesses", 10);
+  a.set("final_occupancy", 7);
+  b.add("accesses", 5);
+  b.set("final_occupancy", 4);
+  a.merge(b);
+  EXPECT_EQ(a.get("accesses"), 15u);        // counters still sum
+  EXPECT_EQ(a.get("final_occupancy"), 7u);  // gauges take the max
+  EXPECT_TRUE(a.is_gauge("final_occupancy"));
+  EXPECT_FALSE(a.is_gauge("accesses"));
+
+  // The gauge marking survives a merge in either direction: a set() on
+  // only one side still merges by max, and a larger incoming gauge wins.
+  StatSet c, d;
+  c.add("high_water", 3);  // written as a counter here...
+  d.set("high_water", 9);  // ...but the other side knows it is a gauge
+  c.merge(d);
+  EXPECT_EQ(c.get("high_water"), 9u);
+  EXPECT_TRUE(c.is_gauge("high_water"));
+}
+
+TEST(Stats, SetOverwritesAndClearForgetsGauges) {
+  StatSet s;
+  s.set("g", 5);
+  s.set("g", 2);
+  EXPECT_EQ(s.get("g"), 2u);  // set() overwrites, never accumulates
+  s.clear();
+  EXPECT_FALSE(s.is_gauge("g"));
+  s.add("g", 1);
+  StatSet t;
+  t.add("g", 2);
+  s.merge(t);
+  EXPECT_EQ(s.get("g"), 3u);  // after clear(), "g" is an ordinary counter
+}
+
+TEST(Bits, CheckedSubClampsInsteadOfWrapping) {
+  // Regression guard for Pipeline::fetch_of: a fetch latency below the
+  // IL1 hit latency must clamp the pipelined-hit subtraction to zero, not
+  // wrap to ~2^64 (which deadlocked fetch by pushing line_ready_ past any
+  // reachable cycle).
+  EXPECT_EQ(checked_sub(10, 3), 7u);
+  EXPECT_EQ(checked_sub(3, 3), 0u);
+  EXPECT_EQ(checked_sub(2, 3), 0u);
+  EXPECT_EQ(checked_sub(0, ~0ull), 0u);
+}
+
 TEST(Check, ThrowsWithMessage) {
   try {
     SEMPE_CHECK_MSG(false, "context " << 42);
