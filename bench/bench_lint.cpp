@@ -1,0 +1,91 @@
+// Static taint-lint sweep — every workload in the registry linted under
+// the legacy/SeMPE/CTE policies (security/taint_lint.h) and cross-checked
+// against the dynamic leakage audit (sim::measure_lint). This is the CI
+// gate for the constant-time discipline: the exit status is nonzero if
+//
+//   - any workload is statically clean but dynamically distinguishable
+//     (the lint missed a real channel — a soundness bug),
+//   - any CTE variant has a static finding, or
+//   - any secret-carrying workload lints clean under the legacy policy
+//     (the lint lost the taint).
+//
+// Static-dirty-but-dynamic-clean points (e.g. synthetic.ibr under the
+// SeMPE policy, whose regions the verifier rejects for containing jalr)
+// print as warnings and do not gate.
+//
+// The harnessed workloads lint at width=3, matching bench_leakage, so the
+// default 8 audit samples enumerate the whole 2^3 secret space; djpeg (no
+// settable secret vector) is a zero-seed smoke point. SEMPE_BENCH_ITERS
+// sets the harness iteration count (default 2), SEMPE_AUDIT_SAMPLES the
+// dynamic sample budget (default 8). The points run concurrently through
+// sim/batch_runner.h; output — including --json — is byte-identical for
+// any --threads value.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "sim/batch_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace sempe;
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  int exit_code = 0;
+  if (sim::batch_cli_should_exit(cli, argc, argv,
+                                 "static taint lint: every registered "
+                                 "workload x {legacy, SeMPE, CTE} policy, "
+                                 "cross-checked against the dynamic audit",
+                                 &exit_code))
+    return exit_code;
+  std::FILE* const out = sim::report_stream(cli);
+
+  const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 2);
+  security::AuditOptions opt;
+  opt.samples = sim::env_usize("SEMPE_AUDIT_SAMPLES", 8);
+
+  std::vector<std::string> specs;
+  for (const std::string& name :
+       workloads::WorkloadRegistry::instance().names()) {
+    if (name == "djpeg") {
+      // No settable secret vector; keep the image small so the smoke point
+      // does not dominate the sweep.
+      specs.push_back("djpeg?pixels=4096&scale=16");
+      continue;
+    }
+    specs.push_back(name + "?width=3&iters=" + std::to_string(iters));
+  }
+  const auto jobs = sim::lint_grid(specs, opt);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto points = sim::run_lint_jobs(jobs, cli.threads);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  bool all_ok = true;
+  for (const auto& pt : points) {
+    const security::WorkloadLint& l = pt.lint;
+    all_ok = all_ok && pt.ok();
+    std::fprintf(out,
+                 "lint  %-58s  W=%zu  legacy: %zu  sempe: %zu (excused %zu)  "
+                 "cte: %s  %s\n",
+                 l.spec.c_str(), l.secret_width,
+                 l.natural_legacy.findings.size(),
+                 l.natural_sempe.findings.size(),
+                 l.natural_sempe.excused_sjmps,
+                 l.has_cte ? std::to_string(l.cte.findings.size()).c_str()
+                           : "-",
+                 pt.ok() ? "ok" : "FAIL");
+    if (!pt.ok())
+      std::fprintf(out, "  !! %s\n", pt.failure_summary().c_str());
+    if (!pt.warnings.empty())
+      std::fprintf(out, "  (warn) %s\n", pt.warning_summary().c_str());
+  }
+  std::fprintf(stderr, "linted %zu workload(s) in %.2fs on %zu thread(s)\n",
+               jobs.size(), secs,
+               sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::lint_json("lint", jobs, points)))
+    return 1;
+  return all_ok ? 0 : 1;
+}

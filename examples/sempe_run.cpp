@@ -8,6 +8,7 @@
 //                                            [--variant=secure|cte]
 //                                            [--timeline] [--trace]
 //   build/examples/sempe_run --audit=SPEC    [--samples=N] [--seed=N]
+//   build/examples/sempe_run --lint=SPEC
 //   build/examples/sempe_run --list-workloads
 //
 // FILE.s is assembled (see isa/assembler.h for the grammar), statically
@@ -17,6 +18,8 @@
 // against the host-computed expectations. --audit=SPEC sweeps the spec
 // over a sampled secret space and reports the per-channel
 // indistinguishability verdict for each execution mode (security/audit.h).
+// --lint=SPEC runs the static secret-taint lint over both variants
+// (security/taint_lint.h) and reports every finding per policy.
 // --timeline dumps the first 64 rows of the pipeline schedule; --trace
 // prints the observable-channel summary.
 //
@@ -31,6 +34,7 @@
 #include "core/region_verifier.h"
 #include "isa/assembler.h"
 #include "security/audit.h"
+#include "security/taint_lint.h"
 #include "sim/simulator.h"
 #include "sim/timeline.h"
 #include "workloads/registry.h"
@@ -46,11 +50,12 @@ void print_usage(const char* argv0) {
                "       %s --workload=SPEC [--mode=sempe|legacy] "
                "[--variant=secure|cte] [--timeline] [--trace]\n"
                "       %s --audit=SPEC    [--samples=N] [--seed=N]\n"
+               "       %s --lint=SPEC\n"
                "       %s --list-workloads\n"
                "a ready-made assembly input lives at examples/demo.s, e.g.:\n"
                "  %s examples/demo.s --timeline\n"
                "registered workloads (SPEC is name or name?key=val&...):\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   for (const std::string& n : workloads::WorkloadRegistry::instance().names())
     std::fprintf(stderr, "  %s\n", n.c_str());
 }
@@ -152,6 +157,25 @@ int run_audit(const std::string& spec_text, usize samples, u64 seed) {
   return ok ? 0 : 3;
 }
 
+int run_lint(const std::string& spec_text) {
+  const security::WorkloadLint lint = security::lint_workload(spec_text);
+  std::printf("%s\n", lint.to_string().c_str());
+  // Gate like bench_lint's per-workload half: the CTE binary must lint
+  // fully clean, and a secret-bearing natural binary the legacy policy
+  // calls clean would mean the lint lost the taint.
+  bool ok = true;
+  if (lint.has_cte && !lint.cte.clean()) ok = false;
+  if (lint.secret_width > 0 && lint.natural_legacy.clean()) ok = false;
+  std::printf("verdict: %s\n",
+              ok ? (lint.natural_sempe.clean()
+                        ? "CTE discipline holds; SeMPE covers every secret "
+                          "branch"
+                        : "CTE discipline holds; SeMPE-policy findings "
+                          "remain (see above)")
+                 : "LINT GATE FAILED — see above");
+  return ok ? 0 : 3;
+}
+
 int run_assembly(const char* path, cpu::ExecMode mode, bool timeline,
                  bool verify, bool trace) {
   std::ifstream in(path);
@@ -194,7 +218,7 @@ int run_assembly(const char* path, cpu::ExecMode mode, bool timeline,
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
-  std::string workload, audit;
+  std::string workload, audit, lint;
   cpu::ExecMode mode = cpu::ExecMode::kSempe;
   workloads::Variant variant = workloads::Variant::kSecure;
   bool timeline = false, verify = true, trace = false, list = false;
@@ -213,6 +237,7 @@ int main(int argc, char** argv) {
       mode_set = true;
     }
     else if (!std::strncmp(a, "--audit=", 8)) audit = a + 8;
+    else if (!std::strncmp(a, "--lint=", 7)) lint = a + 7;
     else if (!std::strncmp(a, "--samples=", 10)) {
       samples = static_cast<usize>(std::strtoull(a + 10, nullptr, 10));
       samples_set = true;
@@ -258,10 +283,10 @@ int main(int argc, char** argv) {
   }
   const int inputs =
       (path != nullptr ? 1 : 0) + (!workload.empty() ? 1 : 0) +
-      (!audit.empty() ? 1 : 0);
+      (!audit.empty() ? 1 : 0) + (!lint.empty() ? 1 : 0);
   if (inputs != 1) {
-    // Exactly one of FILE.s / --workload / --audit; anything else is a
-    // usage error.
+    // Exactly one of FILE.s / --workload / --audit / --lint; anything else
+    // is a usage error.
     print_usage(argv[0]);
     return 1;
   }
@@ -275,6 +300,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--audit runs its own mode matrix; --mode/--timeline/"
                  "--trace/--variant/--no-verify do not apply\n");
+    return 1;
+  }
+  if (!lint.empty() &&
+      (timeline || trace || variant_set || no_verify_set || mode_set)) {
+    std::fprintf(stderr,
+                 "--lint analyzes both variants statically; --mode/"
+                 "--timeline/--trace/--variant/--no-verify do not apply\n");
     return 1;
   }
   if (!workload.empty() && no_verify_set) {
@@ -291,6 +323,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!lint.empty()) return run_lint(lint);
     if (!audit.empty()) return run_audit(audit, samples, audit_seed);
     if (!workload.empty())
       return run_workload(workload, mode, variant, timeline, trace);

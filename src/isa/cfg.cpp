@@ -94,10 +94,19 @@ Cfg Cfg::build(const Program& program) {
 
 usize Cfg::block_id_of(Addr pc) const {
   auto it = by_start_.upper_bound(pc);
-  SEMPE_CHECK_MSG(it != by_start_.begin(), "pc before first block");
+  SEMPE_CHECK_MSG(it != by_start_.begin(),
+                  "pc 0x" << std::hex << pc << " is before the first block"
+                          << (by_start_.empty() ? " (empty CFG)" : ""));
   --it;
   const BasicBlock& b = blocks_[it->second];
-  SEMPE_CHECK_MSG(pc >= b.start && pc < b.end, "pc outside any block");
+  SEMPE_CHECK_MSG(pc < b.end, "pc 0x" << std::hex << pc
+                                      << " is past the last instruction (code"
+                                         " ends at 0x"
+                                      << blocks_.back().end << ")");
+  SEMPE_CHECK_MSG((pc - b.start) % kInstrBytes == 0,
+                  "pc 0x" << std::hex << pc
+                          << " is not instruction-aligned (block starts at 0x"
+                          << b.start << ")");
   return b.id;
 }
 

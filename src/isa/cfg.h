@@ -32,6 +32,8 @@ class Cfg {
   static Cfg build(const Program& program);
 
   const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  /// The block containing pc. Throws SimError (never UB) when pc is
+  /// outside the code segment or not instruction-aligned.
   const BasicBlock& block_of(Addr pc) const;
   usize block_id_of(Addr pc) const;
   Addr entry() const { return entry_; }

@@ -22,17 +22,42 @@ struct DataSegment {
   std::vector<u8> bytes;
 };
 
+/// One data-region allocation made by the ProgramBuilder. DataSegment
+/// records initialized bytes only; this records *every* allocation,
+/// including zero-initialized scratch, giving static analyses
+/// (security/taint_lint) an allocation map for pointer provenance.
+struct Allocation {
+  Addr addr = 0;
+  usize bytes = 0;
+};
+
 class Program {
  public:
   Program() = default;
-  Program(Addr code_base, std::vector<u64> code, std::vector<DataSegment> data)
-      : code_base_(code_base), code_(std::move(code)), data_(std::move(data)) {}
+  Program(Addr code_base, std::vector<u64> code, std::vector<DataSegment> data,
+          std::vector<Allocation> allocs = {})
+      : code_base_(code_base),
+        code_(std::move(code)),
+        data_(std::move(data)),
+        allocs_(std::move(allocs)) {}
 
   Addr code_base() const { return code_base_; }
   Addr entry() const { return code_base_; }
   usize num_instructions() const { return code_.size(); }
   const std::vector<u64>& code() const { return code_; }
   const std::vector<DataSegment>& data() const { return data_; }
+
+  /// Every builder allocation, sorted by address (the builder's data
+  /// cursor only moves up). Empty for hand-constructed programs.
+  const std::vector<Allocation>& allocations() const { return allocs_; }
+
+  /// The allocation containing addr, or nullptr. Zero-size allocations
+  /// never match.
+  const Allocation* allocation_of(Addr addr) const {
+    for (const Allocation& a : allocs_)
+      if (addr >= a.addr && addr < a.addr + a.bytes) return &a;
+    return nullptr;
+  }
 
   /// Address of instruction i.
   Addr pc_of(usize i) const { return code_base_ + i * kInstrBytes; }
@@ -58,6 +83,7 @@ class Program {
   Addr code_base_ = kCodeBase;
   std::vector<u64> code_;
   std::vector<DataSegment> data_;
+  std::vector<Allocation> allocs_;
 };
 
 }  // namespace sempe::isa

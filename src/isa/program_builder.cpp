@@ -68,6 +68,7 @@ Addr ProgramBuilder::alloc(usize size, usize align) {
   data_cursor_ = (data_cursor_ + align - 1) & ~static_cast<Addr>(align - 1);
   const Addr addr = data_cursor_;
   data_cursor_ += size;
+  allocs_.push_back({addr, size});
   return addr;
 }
 
@@ -116,7 +117,8 @@ Program ProgramBuilder::build() {
   words.reserve(code_.size());
   for (const Instruction& ins : code_) words.push_back(encode(ins));
   built_ = true;
-  return Program(code_base_, std::move(words), std::move(data_));
+  return Program(code_base_, std::move(words), std::move(data_),
+                 std::move(allocs_));
 }
 
 std::string Program::disassemble() const {

@@ -157,6 +157,7 @@ class ProgramBuilder {
   std::vector<Fixup> fixups_;
   Addr data_cursor_;
   std::vector<DataSegment> data_;
+  std::vector<Allocation> allocs_;
   bool built_ = false;
 };
 

@@ -35,8 +35,9 @@ constexpr bool is_fp_reg(Reg r) { return r >= kNumIntRegs && r < kNumArchRegs; }
 
 inline std::string reg_name(Reg r) {
   SEMPE_CHECK(r < kNumArchRegs);
-  if (is_int_reg(r)) return "x" + std::to_string(r);
-  return "f" + std::to_string(r - kNumIntRegs);
+  std::string out(1, is_int_reg(r) ? 'x' : 'f');
+  out += std::to_string(is_int_reg(r) ? r : r - kNumIntRegs);
+  return out;
 }
 
 }  // namespace sempe::isa

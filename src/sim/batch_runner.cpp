@@ -139,6 +139,15 @@ std::vector<LeakagePoint> run_leakage_jobs(
   });
 }
 
+std::vector<LintPoint> run_lint_jobs(const std::vector<LintJob>& jobs,
+                                     usize threads) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_indexed(jobs.size(), threads, [&](usize i) {
+    const LintJob& j = jobs[i];
+    return measure_lint(j.spec, j.opt);
+  });
+}
+
 std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
                                      usize threads) {
   workloads::WorkloadRegistry::instance();  // pre-touch, as above
@@ -206,6 +215,20 @@ std::vector<LeakageJob> leakage_grid(const std::vector<std::string>& specs,
   jobs.reserve(specs.size());
   for (const std::string& spec : specs) {
     LeakageJob j;
+    j.label = spec;
+    j.spec = spec;
+    j.opt = opt;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<LintJob> lint_grid(const std::vector<std::string>& specs,
+                               const security::AuditOptions& opt) {
+  std::vector<LintJob> jobs;
+  jobs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    LintJob j;
     j.label = spec;
     j.spec = spec;
     j.opt = opt;
@@ -402,6 +425,63 @@ std::string leakage_json(const std::string& experiment,
                     ? a.mode("sempe")->first_divergence()
                     : "",
                 /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+std::string lint_json(const std::string& experiment,
+                      const std::vector<LintJob>& jobs,
+                      const std::vector<LintPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  // Header workload field: the distinct generator names, in job order.
+  std::vector<std::string> seen;
+  std::string generators;
+  for (const LintJob& j : jobs) {
+    const std::string name = j.spec.substr(0, j.spec.find('?'));
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    if (!generators.empty()) generators += ',';
+    generators += name;
+  }
+  // Findings serialize compactly as "0x<pc>:<kind>" CSV — the PCs are the
+  // pinned part; details stay in the human report.
+  const auto findings_csv = [](const security::LintResult& r) {
+    std::string csv;
+    for (const security::TaintFinding& f : r.findings) {
+      if (!csv.empty()) csv += ',';
+      append_f(csv, "0x%" PRIx64 ":%s", f.pc, taint_kind_name(f.kind));
+    }
+    return csv;
+  };
+  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+  for (usize i = 0; i < points.size(); ++i) {
+    const LintPoint& p = points[i];
+    out += "    {\n";
+    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "spec", p.lint.spec);
+    append_kv_u64(out, "secret_width", p.lint.secret_width);
+    append_kv_u64(out, "has_cte", p.lint.has_cte ? 1 : 0);
+    append_kv_u64(out, "ok", p.ok() ? 1 : 0);
+    append_kv_s(out, "failures", p.failure_summary());
+    append_kv_s(out, "warnings", p.warning_summary());
+    append_kv_u64(out, "legacy_findings", p.lint.natural_legacy.findings.size());
+    append_kv_u64(out, "sempe_findings", p.lint.natural_sempe.findings.size());
+    append_kv_u64(out, "cte_findings", p.lint.cte.findings.size());
+    append_kv_u64(out, "sempe_excused_sjmps", p.lint.natural_sempe.excused_sjmps);
+    append_kv_u64(out, "legacy_passes", p.lint.natural_legacy.passes);
+    append_kv_s(out, "legacy_finding_pcs", findings_csv(p.lint.natural_legacy));
+    append_kv_s(out, "sempe_finding_pcs", findings_csv(p.lint.natural_sempe));
+    append_kv_s(out, "cte_finding_pcs", findings_csv(p.lint.cte));
+    // The dynamic half of the cross-check, for auditability of the verdict.
+    for (const char* mode : {"legacy", "sempe", "cte"}) {
+      const security::ModeAudit* m = p.audit.mode(mode);
+      const std::string k = std::string(mode) + "_distinguishable";
+      append_kv_u64(out, k.c_str(),
+                    (m != nullptr && !m->indistinguishable()) ? 1 : 0);
+    }
+    append_kv_u64(out, "audit_samples", p.audit.masks.size(), /*last=*/true);
     out += i + 1 == points.size() ? "    }\n" : "    },\n";
   }
   json_footer(out);

@@ -109,6 +109,14 @@ struct LeakageJob {
   security::AuditOptions opt{};
 };
 
+/// One workload spec statically linted and cross-checked against the
+/// dynamic leakage audit (see measure_lint).
+struct LintJob {
+  std::string label;  // e.g. "synthetic.cond_branch"
+  std::string spec;   // e.g. "synthetic.cond_branch?width=3&iters=2"
+  security::AuditOptions opt{};  // for the dynamic cross-check half
+};
+
 /// One workload spec timed for host throughput (see measure_perf). The
 /// job form is identical to WorkloadJob; the result additionally carries
 /// wall-clock fields.
@@ -129,6 +137,8 @@ std::vector<WorkloadPoint> run_workload_jobs(
     const std::vector<WorkloadJob>& jobs, usize threads);
 std::vector<LeakagePoint> run_leakage_jobs(
     const std::vector<LeakageJob>& jobs, usize threads);
+std::vector<LintPoint> run_lint_jobs(const std::vector<LintJob>& jobs,
+                                     usize threads);
 std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
                                      usize threads);
 
@@ -145,6 +155,8 @@ std::vector<WorkloadJob> workload_grid(const std::vector<std::string>& specs,
                                        const MicrobenchOptions& opt);
 std::vector<LeakageJob> leakage_grid(const std::vector<std::string>& specs,
                                      const security::AuditOptions& opt);
+std::vector<LintJob> lint_grid(const std::vector<std::string>& specs,
+                               const security::AuditOptions& opt);
 std::vector<PerfJob> perf_grid(const std::vector<std::string>& specs,
                                const MicrobenchOptions& opt);
 
@@ -181,6 +193,9 @@ std::string workload_json(const std::string& experiment,
 std::string leakage_json(const std::string& experiment,
                          const std::vector<LeakageJob>& jobs,
                          const std::vector<LeakagePoint>& points);
+std::string lint_json(const std::string& experiment,
+                      const std::vector<LintJob>& jobs,
+                      const std::vector<LintPoint>& points);
 
 /// Perf results. Unlike every other document this one intentionally
 /// carries wall-clock fields (wall_ms, simulated_mips, ns_per_instr) —

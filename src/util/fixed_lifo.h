@@ -13,53 +13,58 @@
 
 namespace sempe {
 
+/// Storage is allocated once at construction (like the hardware's fixed
+/// entry array), so T must be default-constructible; slots above size()
+/// hold default-constructed values.
 template <typename T>
 class FixedLifo {
  public:
-  explicit FixedLifo(usize capacity) : capacity_(capacity) {
+  explicit FixedLifo(usize capacity) : items_(capacity) {
     SEMPE_CHECK(capacity > 0);
-    items_.reserve(capacity);
   }
 
-  usize capacity() const { return capacity_; }
-  usize size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-  bool full() const { return items_.size() == capacity_; }
+  usize capacity() const { return items_.size(); }
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == items_.size(); }
 
   /// Push; returns false (and does nothing) on overflow.
   bool push(T v) {
     if (full()) return false;
-    items_.push_back(std::move(v));
+    items_[size_++] = std::move(v);
     return true;
   }
 
   T& top() {
     SEMPE_CHECK_MSG(!empty(), "top() on empty LIFO");
-    return items_.back();
+    return items_[size_ - 1];
   }
   const T& top() const {
     SEMPE_CHECK_MSG(!empty(), "top() on empty LIFO");
-    return items_.back();
+    return items_[size_ - 1];
   }
 
   T pop() {
     SEMPE_CHECK_MSG(!empty(), "pop() on empty LIFO");
-    T v = std::move(items_.back());
-    items_.pop_back();
+    T v = std::move(items_[size_ - 1]);
+    items_[--size_] = T{};
     return v;
   }
 
-  void clear() { items_.clear(); }
+  void clear() {
+    for (usize i = 0; i < size_; ++i) items_[i] = T{};
+    size_ = 0;
+  }
 
   /// Indexed from the bottom (0 = oldest). Used by tests and debug dumps.
   const T& at(usize i) const {
-    SEMPE_CHECK(i < items_.size());
+    SEMPE_CHECK(i < size_);
     return items_[i];
   }
 
  private:
-  usize capacity_;
-  std::vector<T> items_;
+  std::vector<T> items_;  // fixed extent = capacity
+  usize size_ = 0;
 };
 
 }  // namespace sempe

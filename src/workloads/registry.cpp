@@ -542,6 +542,12 @@ class ScenarioGenerator final : public WorkloadGenerator {
 
 }  // namespace
 
+security::TaintSeeds WorkloadGenerator::taint_seeds(
+    const WorkloadSpec& spec, const isa::Program& program) const {
+  if (secret_width(spec) == 0) return security::TaintSeeds::none();
+  return security::resolve_secrets_base(program);
+}
+
 // ---------------------------------------------------------------------------
 // WorkloadRegistry
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "isa/program.h"
+#include "security/taint_lint.h"
 #include "workloads/harness.h"
 
 namespace sempe::workloads {
@@ -93,6 +94,13 @@ class WorkloadGenerator {
   }
   virtual BuiltWorkload build(const WorkloadSpec& spec,
                               Variant variant) const = 0;
+  /// Where the secret bits of a build of `spec` live in memory — the seed
+  /// of the static taint lint (security/taint_lint.h). The default follows
+  /// the harness convention: the whole allocation loaded through rSecrets
+  /// (workloads/workload_regs.h), or no seeds when secret_width(spec) is 0
+  /// (the workload exposes no settable secret vector, e.g. djpeg).
+  virtual security::TaintSeeds taint_seeds(const WorkloadSpec& spec,
+                                           const isa::Program& program) const;
 };
 
 class WorkloadRegistry {

@@ -2,6 +2,7 @@
 
 #include "isa/cfg.h"
 #include "isa/program_builder.h"
+#include "util/check.h"
 
 namespace sempe::isa {
 namespace {
@@ -113,6 +114,26 @@ TEST(Cfg, PredecessorsSymmetricWithSuccessors) {
       EXPECT_NE(std::find(preds.begin(), preds.end(), b.id), preds.end());
     }
   }
+}
+
+TEST(Cfg, BlockOfRejectsOutOfRangeAndMisalignedPcs) {
+  // Regression: these used to be unchecked or reported without context;
+  // every bad pc must raise SimError, never UB or a silently wrong block.
+  ProgramBuilder pb;
+  pb.li(1, 1);
+  pb.li(2, 2);
+  pb.halt();
+  const auto prog = pb.build();
+  const Cfg cfg = Cfg::build(prog);
+  const Addr lo = prog.pc_of(0);
+  const Addr hi = prog.pc_of(2) + kInstrBytes;  // one past the last instr
+  EXPECT_THROW(cfg.block_of(lo - kInstrBytes), SimError);
+  EXPECT_THROW(cfg.block_of(0), SimError);
+  EXPECT_THROW(cfg.block_of(hi), SimError);
+  EXPECT_THROW(cfg.block_of(hi + 1024), SimError);
+  EXPECT_THROW(cfg.block_of(lo + 3), SimError);  // misaligned, in range
+  EXPECT_EQ(cfg.block_id_of(lo), 0u);            // aligned pcs still resolve
+  EXPECT_EQ(cfg.block_id_of(prog.pc_of(2)), 0u);
 }
 
 TEST(Cfg, ToStringListsBlocks) {

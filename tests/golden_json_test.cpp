@@ -93,6 +93,22 @@ TEST(GoldenJson, BenchLeakageSchemaIsPinned) {
   check_golden("bench_leakage.json.golden", normalize_points(json));
 }
 
+TEST(GoldenJson, BenchLintSchemaIsPinned) {
+  security::AuditOptions opt;
+  opt.samples = 2;
+  const std::vector<std::string> specs = {
+      "synthetic.cond_branch?size=32&width=1&iters=1",
+      "synthetic.stream?size=32&width=1&iters=1",
+  };
+  const auto jobs = lint_grid(specs, opt);
+  const auto points = run_lint_jobs(jobs, 1);
+  const std::string json = lint_json("lint", jobs, points);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  for (const auto& pt : points)
+    EXPECT_TRUE(pt.ok()) << pt.lint.spec << ": " << pt.failure_summary();
+  check_golden("bench_lint.json.golden", normalize_points(json));
+}
+
 TEST(GoldenJson, BenchScenariosByteIdenticalAcrossThreadsAndPinned) {
   // The exact sweep bench_scenarios fans out (workloads/scenarios.h), so
   // the golden file covers the real sweep and the --threads byte-identity

@@ -244,7 +244,9 @@ TEST(SempeSemantics, LegacyModeTreatsEosjmpAsNop) {
   emit_if_else(pb, 0);
   auto r = run_prog(pb, ExecMode::kLegacy);
   for (const auto& op : r->ops) {
-    if (op.ins.is_eosjmp()) EXPECT_EQ(op.event, SempeEvent::kNone);
+    if (op.ins.is_eosjmp()) {
+      EXPECT_EQ(op.event, SempeEvent::kNone);
+    }
   }
 }
 
