@@ -11,7 +11,6 @@
 //
 // All 31 ablation points are independent and run concurrently through
 // sim/batch_runner.h; the sections below recombine them by index.
-#include <chrono>
 #include <cstdio>
 
 #include "sim/batch_runner.h"
@@ -52,6 +51,7 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   MicrobenchOptions base;
   base.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
@@ -87,11 +87,9 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(j));
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_microbench_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   for (usize w = 1; w <= kSnapshotWidths; ++w) {
     const auto& arch = points[(w - 1) * 3 + 0];
@@ -125,6 +123,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "ablation", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::microbench_json("ablation", jobs, points)))

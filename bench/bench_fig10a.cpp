@@ -8,7 +8,6 @@
 // SEMPE_BENCH_ITERS sets the iteration count per run (default 20). The 40
 // (kind, W) points run concurrently through sim/batch_runner.h; output
 // order is fixed regardless of --threads.
-#include <chrono>
 #include <cstdio>
 
 #include "sim/batch_runner.h"
@@ -22,17 +21,16 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   sim::MicrobenchOptions opt;
   opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
   const auto jobs = sim::microbench_grid(
       sim::all_kinds(), {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opt);
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_microbench_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   for (usize i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
@@ -45,6 +43,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "fig10a", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::microbench_json("fig10a", jobs, points)))

@@ -12,7 +12,6 @@
 //
 // All 40 (kind, W) points run concurrently through sim/batch_runner.h and
 // are then averaged per W over the four kinds.
-#include <chrono>
 #include <cstdio>
 
 #include "sim/batch_runner.h"
@@ -26,17 +25,16 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   sim::MicrobenchOptions opt;
   opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
   const std::vector<usize> widths = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   const auto jobs = sim::microbench_grid(sim::all_kinds(), widths, opt);
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_microbench_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   const usize num_kinds = sim::all_kinds().size();
   for (usize wi = 0; wi < widths.size(); ++wi) {
@@ -59,6 +57,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "fig10b", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::microbench_json("fig10b", jobs, points)))

@@ -6,7 +6,6 @@
 // baseline (ShadowMemory locality); L2 higher than DL1 overall.
 //
 // The 12 (format, size) cells run concurrently through sim/batch_runner.h.
-#include <chrono>
 #include <cstdio>
 
 #include "sim/batch_runner.h"
@@ -21,17 +20,16 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   const usize scale = sim::env_usize("SEMPE_DJPEG_SCALE", 8);
   const auto jobs = sim::djpeg_grid(
       {OutputFormat::kPpm, OutputFormat::kGif, OutputFormat::kBmp},
       sim::djpeg_sizes(), scale);
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_djpeg_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   for (const auto& pt : points) {
     std::fprintf(out,
@@ -45,6 +43,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "fig9", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::djpeg_json("fig9", jobs, points)))

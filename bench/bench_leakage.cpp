@@ -11,7 +11,6 @@
 // iteration count (default 2), SEMPE_AUDIT_SAMPLES the sample budget
 // (default 8). The points run concurrently through sim/batch_runner.h;
 // output — including --json — is byte-identical for any --threads value.
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -27,6 +26,7 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 2);
   security::AuditOptions opt;
@@ -45,11 +45,9 @@ int main(int argc, char** argv) {
   }
   const auto jobs = sim::leakage_grid(specs, opt);
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_leakage_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
   for (const auto& pt : points) {
@@ -78,6 +76,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "audited %zu workload(s) in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "leakage", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::leakage_json("leakage", jobs, points)))

@@ -20,7 +20,6 @@
 // dynamic sample budget (default 8). The points run concurrently through
 // sim/batch_runner.h; output — including --json — is byte-identical for
 // any --threads value.
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -37,6 +36,7 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 2);
   security::AuditOptions opt;
@@ -55,11 +55,9 @@ int main(int argc, char** argv) {
   }
   const auto jobs = sim::lint_grid(specs, opt);
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_lint_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
   for (const auto& pt : points) {
@@ -83,6 +81,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "linted %zu workload(s) in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "lint", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::lint_json("lint", jobs, points)))

@@ -18,7 +18,6 @@
 //
 // SEMPE_BENCH_ITERS sets the harness iteration count per run (default 8;
 // larger than the other benches so each point is long enough to time).
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -35,16 +34,15 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 8);
   const std::vector<std::string> specs = sim::perf_sweep_specs(iters);
   const auto jobs = sim::perf_grid(specs, sim::MicrobenchOptions{});
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_perf_jobs(jobs, cli.threads);
-  const double sweep_secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double sweep_secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
   u64 total_instructions = 0;
@@ -78,6 +76,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), sweep_secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "perf", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::perf_json("perf", jobs, points)))

@@ -10,7 +10,6 @@
 // SEMPE_BENCH_ITERS sets the harness iteration count per run (default 4).
 // The points run concurrently through sim/batch_runner.h; output order is
 // fixed regardless of --threads.
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -27,6 +26,7 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 4);
   std::vector<std::string> specs;
@@ -43,11 +43,9 @@ int main(int argc, char** argv) {
   }
   const auto jobs = sim::workload_grid(specs, sim::MicrobenchOptions{});
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_workload_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
   for (const auto& pt : points) {
@@ -62,6 +60,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "synthetic", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::workload_json("synthetic", jobs, points)))

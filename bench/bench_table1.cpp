@@ -7,7 +7,6 @@
 // cites the microbenchmark worst case. The four kind points are
 // independent, so they run concurrently through sim/batch_runner.h.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 
 #include "sim/batch_runner.h"
@@ -21,16 +20,15 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   sim::MicrobenchOptions opt;
   opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
   const auto jobs = sim::microbench_grid(sim::all_kinds(), {10}, opt);
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_microbench_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   double worst_cte = 0, worst_sempe = 0;
   for (const auto& pt : points) {
@@ -69,6 +67,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "table1", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::microbench_json("table1", jobs, points)))

@@ -4,7 +4,6 @@
 // self-check workload so the table is backed by a live simulation (IPC and
 // cache behavior within sane bounds for the configuration). The self-check
 // point dispatches through sim/batch_runner.h like every other bench.
-#include <chrono>
 #include <cstdio>
 
 #include "sim/batch_runner.h"
@@ -19,6 +18,7 @@ int main(int argc, char** argv) {
                                  &exit_code))
     return exit_code;
   std::FILE* const out = sim::report_stream(cli);
+  auto obs_session = sim::make_obs_session(cli);
 
   const auto cfg = sim::table2_machine();
 
@@ -34,11 +34,9 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(j));
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sweep_sw;
   const auto points = sim::run_microbench_jobs(jobs, cli.threads);
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const double secs = sweep_sw.elapsed_seconds();
 
   const auto& pt = points[0];
   const double ipc =
@@ -52,6 +50,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
                jobs.size(), secs,
                sim::resolve_threads(cli.threads, jobs.size()));
+
+  if (!sim::finish_obs_session(cli, "table2", std::move(obs_session)))
+    return 1;
 
   if (cli.want_json &&
       !sim::emit_json(cli, sim::microbench_json("table2", jobs, points)))

@@ -8,8 +8,13 @@
 //                                            [--variant=secure|cte]
 //                                            [--timeline] [--trace]
 //   build/examples/sempe_run --audit=SPEC    [--samples=N] [--seed=N]
+//                                            [--progress]
 //   build/examples/sempe_run --lint=SPEC
 //   build/examples/sempe_run --list-workloads
+//
+// Any simulating mode (FILE.s, --workload, --audit) also accepts
+// --trace-out=F (Chrome trace-event timeline) and --metrics-out=F
+// (structured metric report) — the src/obs/ observability outputs.
 //
 // FILE.s is assembled (see isa/assembler.h for the grammar), statically
 // verified, and run on the selected core. --workload=SPEC instead resolves
@@ -35,6 +40,7 @@
 #include "isa/assembler.h"
 #include "security/audit.h"
 #include "security/taint_lint.h"
+#include "sim/batch_runner.h"
 #include "sim/simulator.h"
 #include "sim/timeline.h"
 #include "workloads/registry.h"
@@ -49,9 +55,13 @@ void print_usage(const char* argv0) {
                "[--no-verify] [--trace]\n"
                "       %s --workload=SPEC [--mode=sempe|legacy] "
                "[--variant=secure|cte] [--timeline] [--trace]\n"
-               "       %s --audit=SPEC    [--samples=N] [--seed=N]\n"
+               "       %s --audit=SPEC    [--samples=N] [--seed=N] "
+               "[--progress]\n"
                "       %s --lint=SPEC\n"
                "       %s --list-workloads\n"
+               "simulating modes also accept --trace-out=FILE "
+               "(chrome://tracing timeline)\nand --metrics-out=FILE "
+               "(structured metric report)\n"
                "a ready-made assembly input lives at examples/demo.s, e.g.:\n"
                "  %s examples/demo.s --timeline\n"
                "registered workloads (SPEC is name or name?key=val&...):\n",
@@ -137,10 +147,12 @@ int run_workload(const std::string& spec_text, cpu::ExecMode mode,
   return ok ? 0 : 3;
 }
 
-int run_audit(const std::string& spec_text, usize samples, u64 seed) {
+int run_audit(const std::string& spec_text, usize samples, u64 seed,
+              bool progress) {
   security::AuditOptions opt;
   opt.samples = samples;
   opt.seed = seed;
+  opt.progress = progress;
   const security::WorkloadAudit audit =
       security::audit_workload(spec_text, opt);
   std::printf("%s", audit.to_string().c_str());
@@ -226,6 +238,8 @@ int main(int argc, char** argv) {
   usize samples = 8;
   u64 audit_seed = 1;
   bool samples_set = false, seed_set = false;
+  std::string trace_out, metrics_out;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -254,7 +268,20 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(a, "--variant=cte")) {
       variant = workloads::Variant::kCte;
       variant_set = true;
-    } else if (!std::strcmp(a, "--timeline")) timeline = true;
+    } else if (!std::strncmp(a, "--trace-out=", 12)) {
+      trace_out = a + 12;
+      if (trace_out.empty()) {
+        std::fprintf(stderr, "--trace-out needs a file name\n");
+        return 1;
+      }
+    } else if (!std::strncmp(a, "--metrics-out=", 14)) {
+      metrics_out = a + 14;
+      if (metrics_out.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a file name\n");
+        return 1;
+      }
+    } else if (!std::strcmp(a, "--progress")) progress = true;
+    else if (!std::strcmp(a, "--timeline")) timeline = true;
     else if (!std::strcmp(a, "--no-verify")) {
       verify = false;
       no_verify_set = true;
@@ -295,6 +322,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--samples/--seed only apply to --audit\n");
     return 1;
   }
+  if (progress && audit.empty()) {
+    std::fprintf(stderr,
+                 "--progress only applies to --audit (single runs have no "
+                 "sweep to report on)\n");
+    return 1;
+  }
+  if (!lint.empty() && (!trace_out.empty() || !metrics_out.empty())) {
+    std::fprintf(stderr,
+                 "--trace-out/--metrics-out do not apply to --lint (static "
+                 "analysis, nothing is simulated)\n");
+    return 1;
+  }
   if (!audit.empty() &&
       (timeline || trace || variant_set || no_verify_set || mode_set)) {
     std::fprintf(stderr,
@@ -322,14 +361,37 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Observability session for the simulating modes; installed before the
+  // dispatch so sim::run / audit_workload pick it up.
+  obs::Session::Options oopt;
+  oopt.metrics = !metrics_out.empty();
+  oopt.trace = !trace_out.empty();
+  std::unique_ptr<obs::Session> session;
+  if (oopt.metrics || oopt.trace) {
+    session = std::make_unique<obs::Session>(oopt);
+    obs::set_session(session.get());
+  }
+
+  int code;
   try {
-    if (!lint.empty()) return run_lint(lint);
-    if (!audit.empty()) return run_audit(audit, samples, audit_seed);
-    if (!workload.empty())
-      return run_workload(workload, mode, variant, timeline, trace);
-    return run_assembly(path, mode, timeline, verify, trace);
+    if (!lint.empty()) code = run_lint(lint);
+    else if (!audit.empty()) code = run_audit(audit, samples, audit_seed,
+                                              progress);
+    else if (!workload.empty())
+      code = run_workload(workload, mode, variant, timeline, trace);
+    else code = run_assembly(path, mode, timeline, verify, trace);
   } catch (const SimError& e) {
+    obs::set_session(nullptr);
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+  obs::set_session(nullptr);
+  if (session != nullptr) {
+    const std::string experiment = !audit.empty()     ? "audit"
+                                   : !workload.empty() ? "workload"
+                                                       : "assembly";
+    if (!sim::write_obs_outputs(*session, experiment, trace_out, metrics_out))
+      return 1;
+  }
+  return code;
 }

@@ -1,0 +1,61 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace sempe::obs {
+
+namespace {
+
+std::atomic<u64> g_next_registry_id{1};
+
+}  // namespace
+
+MetricRegistry::MetricRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricShard& MetricRegistry::local() {
+  // One cache entry per (thread, registry) pair. A thread typically
+  // touches two registries (a session's metrics + timing), so a linear
+  // scan beats a map. Registry ids are process-unique and never reused,
+  // so a stale entry for a destroyed registry can never be returned for a
+  // live one.
+  thread_local std::vector<std::pair<u64, MetricShard*>> cache;
+  for (const auto& [id, shard] : cache)
+    if (id == id_) return *shard;
+  const std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<MetricShard>());
+  MetricShard* const shard = shards_.back().get();
+  cache.emplace_back(id_, shard);
+  return *shard;
+}
+
+MetricShard MetricRegistry::merged() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricShard out;
+  for (const auto& shard : shards_) out.merge(*shard);
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sempe::obs

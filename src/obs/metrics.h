@@ -1,0 +1,165 @@
+// Typed metric registry — the instrumentation half of the observability
+// subsystem (src/obs/).
+//
+// Three metric kinds:
+//   counters   — monotonic event counts; merge() sums them.
+//   gauges     — point-in-time levels; merge() takes the maximum (the only
+//                order-independent aggregate, matching util/stats.h).
+//   histograms — fixed-bucket log2 histograms of u64 samples (latencies,
+//                sizes); merge() adds bucket-wise, so merging is
+//                associative and commutative and a sharded sweep reduces
+//                to the same histogram in any order.
+//
+// Concurrency model: a MetricRegistry hands each thread its own
+// MetricShard (registered once under a mutex, then touched lock-free by
+// its owning thread only). merged() combines every shard at report time.
+// Nothing on a simulated hot path takes a lock or a map lookup per event:
+// hot code holds a Histogram* or bumps a counter through its shard
+// reference resolved once per run.
+//
+// This registry federates the existing cold StatSet exports
+// (mem::Cache::export_stats, mem::Hierarchy::export_stats,
+// pipeline::PipelineStats::export_stats) via import_stats(), preserving
+// the counter/gauge distinction, so one report carries every subsystem's
+// statistics under one namespace.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace sempe::obs {
+
+/// Bucket 0 holds the value 0; bucket b (1..64) holds [2^(b-1), 2^b - 1].
+inline constexpr usize kHistogramBuckets = 65;
+
+/// Fixed-bucket log2 histogram. record() is hot-path safe: one shift-based
+/// bucket index, three adds, no allocation.
+class Histogram {
+ public:
+  static usize bucket_of(u64 v) {
+    return v == 0 ? 0 : 1 + static_cast<usize>(log2_floor(v));
+  }
+  /// Smallest value of bucket b.
+  static u64 bucket_lo(usize b) { return b == 0 ? 0 : 1ull << (b - 1); }
+  /// Largest value of bucket b.
+  static u64 bucket_hi(usize b) {
+    if (b == 0) return 0;
+    return b >= 64 ? ~0ull : (1ull << b) - 1;
+  }
+
+  void record(u64 v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  /// Bucket-wise sum; count/sum add, max maxes. Associative + commutative.
+  void merge(const Histogram& o) {
+    for (usize b = 0; b < kHistogramBuckets; ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  u64 max() const { return max_; }
+  u64 bucket_count(usize b) const { return buckets_[b]; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+ private:
+  std::array<u64, kHistogramBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 max_ = 0;
+};
+
+/// One thread's private metric store. Only its owning thread writes it;
+/// the registry reads it (under the registration mutex) at merge time,
+/// after the worker threads have joined.
+class MetricShard {
+ public:
+  void add(const std::string& name, u64 delta = 1) {
+    counters_[name] += delta;
+  }
+  /// Gauge write; merge() aggregates gauges by max.
+  void set(const std::string& name, u64 value) {
+    u64& g = gauges_[name];
+    if (value > g) g = value;
+  }
+  /// The named histogram, created empty on first use. The reference stays
+  /// valid for the shard's lifetime — hot loops resolve it once per run.
+  Histogram& hist(const std::string& name) { return hists_[name]; }
+
+  /// Federate a StatSet export under `prefix` ("pipeline.", "mem.", ...):
+  /// StatSet counters add, StatSet gauges (written via set()) max.
+  void import_stats(const std::string& prefix, const StatSet& s) {
+    for (const auto& [name, value] : s.counters()) {
+      if (s.is_gauge(name))
+        set(prefix + name, value);
+      else
+        add(prefix + name, value);
+    }
+  }
+
+  void merge(const MetricShard& o) {
+    for (const auto& [name, value] : o.counters_) counters_[name] += value;
+    for (const auto& [name, value] : o.gauges_) set(name, value);
+    for (const auto& [name, h] : o.hists_) hists_[name].merge(h);
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+
+  const std::map<std::string, u64>& counters() const { return counters_; }
+  const std::map<std::string, u64>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return hists_; }
+
+ private:
+  std::map<std::string, u64> counters_;
+  std::map<std::string, u64> gauges_;
+  std::map<std::string, Histogram> hists_;
+};
+
+/// Owns the per-thread shards. local() registers a shard for the calling
+/// thread on first use (mutex-guarded) and is lock-free afterwards;
+/// merged() reduces every shard into one view at report time.
+class MetricRegistry {
+ public:
+  MetricRegistry();
+
+  /// This thread's shard of this registry. The returned reference stays
+  /// valid for the registry's lifetime (shards are never deleted early).
+  MetricShard& local();
+
+  /// Merge every shard (counters sum, gauges max, histograms add). Call
+  /// after the writing threads have joined — concurrent writes to a shard
+  /// being merged are a data race by contract.
+  MetricShard merged() const;
+
+ private:
+  const u64 id_;  // process-unique, so thread caches never alias registries
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MetricShard>> shards_;
+};
+
+/// Minimal JSON string escaping shared by the obs JSON writers
+/// (trace_event.cpp, report.cpp). Metric and span names are
+/// identifier-like by convention; this keeps hostile names harmless.
+std::string json_escape(const std::string& s);
+
+}  // namespace sempe::obs

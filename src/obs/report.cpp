@@ -1,0 +1,202 @@
+#include "obs/report.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/clock.h"
+
+namespace sempe::obs {
+
+namespace {
+
+std::atomic<Session*> g_session{nullptr};
+
+void append_f(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_f(std::string& out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (needed > 0) {
+    const usize old = out.size();
+    out.resize(old + static_cast<usize>(needed) + 1);
+    std::vsnprintf(out.data() + old, static_cast<usize>(needed) + 1, fmt, ap2);
+    out.resize(old + static_cast<usize>(needed));  // drop the NUL
+  }
+  va_end(ap2);
+}
+
+/// One metric section ("timing" or "metrics") from a merged shard.
+void append_section(std::string& out, const char* section,
+                    const MetricShard& shard, bool last) {
+  append_f(out, "  \"%s\": {\n", section);
+  out += "    \"counters\": {\n";
+  {
+    usize i = 0;
+    for (const auto& [name, value] : shard.counters())
+      append_f(out, "      \"%s\": %" PRIu64 "%s\n", json_escape(name).c_str(),
+               value, ++i == shard.counters().size() ? "" : ",");
+  }
+  out += "    },\n";
+  out += "    \"gauges\": {\n";
+  {
+    usize i = 0;
+    for (const auto& [name, value] : shard.gauges())
+      append_f(out, "      \"%s\": %" PRIu64 "%s\n", json_escape(name).c_str(),
+               value, ++i == shard.gauges().size() ? "" : ",");
+  }
+  out += "    },\n";
+  out += "    \"histograms\": {\n";
+  {
+    usize i = 0;
+    for (const auto& [name, h] : shard.histograms()) {
+      append_f(out, "      \"%s\": {\n", json_escape(name).c_str());
+      append_f(out, "        \"count\": %" PRIu64 ",\n", h.count());
+      append_f(out, "        \"sum\": %" PRIu64 ",\n", h.sum());
+      append_f(out, "        \"max\": %" PRIu64 ",\n", h.max());
+      // Non-empty buckets as one [lo, count] pair per bucket, one line for
+      // the whole array (the golden normalizer blanks it as one value).
+      out += "        \"buckets\": [";
+      bool first = true;
+      for (usize b = 0; b < kHistogramBuckets; ++b) {
+        if (h.bucket_count(b) == 0) continue;
+        append_f(out, "%s[%" PRIu64 ", %" PRIu64 "]", first ? "" : ", ",
+                 Histogram::bucket_lo(b), h.bucket_count(b));
+        first = false;
+      }
+      out += "]\n";
+      append_f(out, "      }%s\n", ++i == shard.histograms().size() ? "" : ",");
+    }
+  }
+  out += "    }\n";
+  append_f(out, "  }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProgressMeter
+
+void ProgressMeter::start(usize total_jobs, usize workers) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  total_ = total_jobs;
+  workers_ = workers == 0 ? 1 : workers;
+  done_ = 0;
+  busy_ns_ = 0;
+  epoch_ns_ = mono_ns();
+  last_print_ns_ = 0;
+  started_ = true;
+}
+
+void ProgressMeter::tick(u64 busy_ns) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return;
+  ++done_;
+  busy_ns_ += busy_ns;
+  // Rate-limit to ~5 lines/second; the final line comes from finish().
+  const u64 now = mono_ns();
+  if (now - last_print_ns_ < 200'000'000ull && done_ != total_) return;
+  last_print_ns_ = now;
+  print_locked(/*final_line=*/false);
+}
+
+void ProgressMeter::finish() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) return;
+  print_locked(/*final_line=*/true);
+  started_ = false;
+}
+
+void ProgressMeter::print_locked(bool final_line) {
+  const double elapsed =
+      static_cast<double>(mono_ns() - epoch_ns_) * 1e-9;
+  const double frac =
+      total_ == 0 ? 1.0
+                  : static_cast<double>(done_) / static_cast<double>(total_);
+  const double eta =
+      done_ == 0 || done_ >= total_
+          ? 0.0
+          : elapsed / static_cast<double>(done_) *
+                static_cast<double>(total_ - done_);
+  const double util =
+      elapsed <= 0.0 ? 0.0
+                     : static_cast<double>(busy_ns_) * 1e-9 /
+                           (elapsed * static_cast<double>(workers_));
+  std::fprintf(stderr,
+               "\rprogress: %zu/%zu jobs (%3.0f%%), elapsed %.1fs, ETA "
+               "%.1fs, %zu worker(s) %3.0f%% busy%s",
+               done_, total_, frac * 100.0, elapsed, eta, workers_,
+               util * 100.0, final_line ? "\n" : "");
+  std::fflush(stderr);
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(const Options& opt)
+    : metrics_enabled_(opt.metrics),
+      trace_(opt.trace ? std::make_unique<TraceSession>(opt.trace_capacity)
+                       : nullptr),
+      progress_(opt.progress ? std::make_unique<ProgressMeter>() : nullptr) {}
+
+Session* session() { return g_session.load(std::memory_order_acquire); }
+
+void set_session(Session* s) {
+  g_session.store(s, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Report
+
+std::string render_report(const std::string& experiment, Session& s) {
+  std::string out = "{\n";
+  out += "  \"meta\": {\n";
+  out += "    \"schema_version\": 1,\n";
+  out += "    \"report\": \"observability\",\n";
+  append_f(out, "    \"experiment\": \"%s\",\n",
+           json_escape(experiment).c_str());
+  // Like the batch-runner result documents, the deterministic sections
+  // are thread-count invariant; `threads` is the constant 0 by contract.
+  out += "    \"threads\": 0\n";
+  out += "  },\n";
+  append_section(out, "timing", s.timing().merged(), /*last=*/false);
+  append_section(out, "metrics", s.metrics().merged(), /*last=*/true);
+  out += "}\n";
+  return out;
+}
+
+std::string strip_report_timing(const std::string& json) {
+  // Line-based: drop from the `  "timing": {` line through its matching
+  // closing brace (depth-counted; values never contain unbalanced braces).
+  std::string out;
+  out.reserve(json.size());
+  usize pos = 0;
+  int skip_depth = 0;
+  while (pos < json.size()) {
+    usize eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size() - 1;
+    const std::string line = json.substr(pos, eol - pos + 1);
+    pos = eol + 1;
+    if (skip_depth == 0 && line.find("  \"timing\": {") == 0) {
+      skip_depth = 1;
+      continue;
+    }
+    if (skip_depth > 0) {
+      for (const char c : line) {
+        if (c == '{') ++skip_depth;
+        if (c == '}') --skip_depth;
+      }
+      continue;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sempe::obs

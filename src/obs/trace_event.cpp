@@ -1,0 +1,150 @@
+#include "obs/trace_event.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.h"  // json_escape
+#include "util/clock.h"
+
+namespace sempe::obs {
+
+namespace {
+
+std::atomic<u64> g_next_trace_id{1};
+
+void append_f(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_f(std::string& out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (needed > 0) {
+    const usize old = out.size();
+    out.resize(old + static_cast<usize>(needed) + 1);
+    std::vsnprintf(out.data() + old, static_cast<usize>(needed) + 1, fmt, ap2);
+    out.resize(old + static_cast<usize>(needed));  // drop the NUL
+  }
+  va_end(ap2);
+}
+
+}  // namespace
+
+TraceSession::TraceSession(usize capacity_per_thread)
+    : id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(mono_ns()),
+      cap_(capacity_per_thread == 0 ? 1 : capacity_per_thread) {}
+
+TraceSession::Ring& TraceSession::local() {
+  thread_local std::vector<std::pair<u64, Ring*>> cache;
+  for (const auto& [id, ring] : cache)
+    if (id == id_) return *ring;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<u32>(rings_.size() + 1);
+  ring->events.reserve(std::min<usize>(cap_, 1024));
+  rings_.push_back(std::move(ring));
+  Ring* const r = rings_.back().get();
+  cache.emplace_back(id_, r);
+  return *r;
+}
+
+void TraceSession::push(Ring& ring, char phase, const std::string& name,
+                        const char* arg_name, u64 arg_value) {
+  Event e;
+  e.ts_ns = mono_ns() - epoch_ns_;
+  e.tid = ring.tid;
+  e.phase = phase;
+  e.name = name;
+  if (arg_name != nullptr) {
+    e.arg_name = arg_name;
+    e.arg_value = arg_value;
+  }
+  ring.events.push_back(std::move(e));
+}
+
+void TraceSession::begin(const std::string& name, const char* arg_name,
+                         u64 arg_value) {
+  Ring& ring = local();
+  if (ring.events.size() >= cap_) {
+    // Full: drop this span entirely — remember that its end() must be
+    // swallowed too, so the retained events stay balanced.
+    ++ring.dropped;
+    ++ring.open_dropped;
+    return;
+  }
+  push(ring, 'B', name, arg_name, arg_value);
+}
+
+void TraceSession::end(const std::string& name) {
+  Ring& ring = local();
+  if (ring.open_dropped > 0) {
+    --ring.open_dropped;
+    ++ring.dropped;
+    return;
+  }
+  // A begin that was recorded always gets its end (the ring may exceed
+  // cap_ by the current span nesting depth — bounded and balanced).
+  push(ring, 'E', name, nullptr, 0);
+}
+
+void TraceSession::instant(const std::string& name) {
+  Ring& ring = local();
+  if (ring.events.size() >= cap_) {
+    ++ring.dropped;
+    return;
+  }
+  push(ring, 'i', name, nullptr, 0);
+}
+
+u64 TraceSession::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  u64 n = 0;
+  for (const auto& ring : rings_) n += ring->dropped;
+  return n;
+}
+
+usize TraceSession::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  usize n = 0;
+  for (const auto& ring : rings_) n += ring->events.size();
+  return n;
+}
+
+std::string TraceSession::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n\"traceEvents\": [\n";
+  bool first = true;
+  u64 total_dropped = 0;
+  for (const auto& ring : rings_) {
+    total_dropped += ring->dropped;
+    for (const Event& e : ring->events) {
+      if (!first) out += ",\n";
+      first = false;
+      // Chrome trace timestamps are microseconds (fractional allowed).
+      append_f(out,
+               "{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f, "
+               "\"pid\": 1, \"tid\": %u",
+               json_escape(e.name).c_str(), e.phase,
+               static_cast<double>(e.ts_ns) / 1e3, e.tid);
+      if (e.phase == 'i') out += ", \"s\": \"t\"";  // thread-scoped instant
+      if (!e.arg_name.empty())
+        append_f(out, ", \"args\": {\"%s\": %" PRIu64 "}",
+                 json_escape(e.arg_name).c_str(), e.arg_value);
+      out += "}";
+    }
+  }
+  if (!first) out += "\n";
+  out += "],\n\"displayTimeUnit\": \"ms\",\n";
+  append_f(out, "\"otherData\": {\"dropped_events\": %" PRIu64 "}\n}\n",
+           total_dropped);
+  return out;
+}
+
+}  // namespace sempe::obs

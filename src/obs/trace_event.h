@@ -1,0 +1,101 @@
+// Chrome trace-event writer — the timeline half of the observability
+// subsystem (src/obs/).
+//
+// Records spans (balanced "B"/"E" begin/end pairs) and instants ("i")
+// into per-thread bounded rings, then serializes the whole session as one
+// Trace Event Format JSON document that chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) open directly. A batch_runner sweep traced
+// this way shows one track per worker thread with a span per job (its
+// queue wait attached as an arg) and the per-phase spans inside it
+// (functional warmup, detailed simulation, audit sampling).
+//
+// Concurrency model mirrors obs/metrics.h: each thread gets its own ring
+// (registered once under a mutex, appended to lock-free by its owner),
+// and to_json() merges the rings after the workers have joined.
+//
+// Overflow keeps B/E balance: when a ring is full, a begin() is dropped
+// together with its matching end() (and counted), so the retained events
+// always form properly nested spans per thread.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace sempe::obs {
+
+class TraceSession {
+ public:
+  /// capacity_per_thread bounds each thread's ring; excess spans/instants
+  /// are dropped (balanced) and counted in dropped().
+  explicit TraceSession(usize capacity_per_thread = 1 << 14);
+
+  /// Open a span on the calling thread's track. `arg_name`, when non-null,
+  /// attaches one numeric argument to the begin event (rendered under
+  /// "args" — e.g. a job's queue wait).
+  void begin(const std::string& name, const char* arg_name = nullptr,
+             u64 arg_value = 0);
+  /// Close the innermost open span on the calling thread's track.
+  void end(const std::string& name);
+  /// A zero-duration instant event on the calling thread's track.
+  void instant(const std::string& name);
+
+  /// Events dropped across all rings because a ring was full.
+  u64 dropped() const;
+  /// Events currently retained across all rings.
+  usize event_count() const;
+
+  /// The full trace document: {"traceEvents": [...], ...}. Timestamps are
+  /// microseconds since the session was constructed.
+  std::string to_json() const;
+
+ private:
+  struct Event {
+    u64 ts_ns = 0;
+    u32 tid = 0;
+    char phase = 'i';  // 'B' | 'E' | 'i'
+    std::string name;
+    std::string arg_name;  // empty: no args object
+    u64 arg_value = 0;
+  };
+  struct Ring {
+    u32 tid = 0;
+    std::vector<Event> events;
+    u64 dropped = 0;
+    u64 open_dropped = 0;  // begins dropped whose end must also be dropped
+  };
+
+  Ring& local();
+  void push(Ring& ring, char phase, const std::string& name,
+            const char* arg_name, u64 arg_value);
+
+  const u64 id_;        // process-unique (same scheme as MetricRegistry)
+  const u64 epoch_ns_;  // mono_ns() at construction; event ts are relative
+  const usize cap_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: begins at construction, ends at scope exit. A null session
+/// makes both ends no-ops, so instrumentation sites stay unconditional.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSession* session, const char* name)
+      : session_(session), name_(name) {
+    if (session_ != nullptr) session_->begin(name_);
+  }
+  ~TraceSpan() {
+    if (session_ != nullptr) session_->end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+};
+
+}  // namespace sempe::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace sempe::pipeline {
 
 using cpu::DynOp;
@@ -58,13 +60,20 @@ Cycle Pipeline::fetch_of(const DynOp& op) {
 }
 
 void Pipeline::process(const DynOp& op) {
-  if (on_retire)
-    process_impl<true>(op);
-  else
-    process_impl<false>(op);
+  if (on_retire) {
+    if (load_lat_hist_ != nullptr)
+      process_impl<true, true>(op);
+    else
+      process_impl<true, false>(op);
+  } else {
+    if (load_lat_hist_ != nullptr)
+      process_impl<false, true>(op);
+    else
+      process_impl<false, false>(op);
+  }
 }
 
-template <bool kNotify>
+template <bool kNotify, bool kObserve>
 void Pipeline::process_impl(const DynOp& op) {
   const isa::OpInfo& info = isa::op_info(op.ins.op);
   const bool is_fp_class =
@@ -126,6 +135,7 @@ void Pipeline::process_impl(const DynOp& op) {
         complete = iss + cfg_.forward_latency;
       } else {
         const Cycle lat = hier_->access_data(op.mem_addr, false, op.pc);
+        if constexpr (kObserve) load_lat_hist_->record(lat);
         complete = iss + cfg_.load_base_latency + lat;
       }
       break;
@@ -338,13 +348,19 @@ void Pipeline::handle_control(const DynOp& op, Cycle f, Cycle complete,
 }
 
 PipelineStats Pipeline::run() {
-  // Hoist the retire-hook test out of the per-instruction loop: the sweep
-  // path (no recorder attached) runs the instantiation with notification
-  // compiled out entirely.
+  // Hoist the observer tests out of the per-instruction loop: the sweep
+  // path (no recorder or histogram attached) runs the instantiation with
+  // both hooks compiled out entirely.
   if (on_retire) {
-    while (!core_->halted()) process_impl<true>(core_->step());
+    if (load_lat_hist_ != nullptr) {
+      while (!core_->halted()) process_impl<true, true>(core_->step());
+    } else {
+      while (!core_->halted()) process_impl<true, false>(core_->step());
+    }
+  } else if (load_lat_hist_ != nullptr) {
+    while (!core_->halted()) process_impl<false, true>(core_->step());
   } else {
-    while (!core_->halted()) process_impl<false>(core_->step());
+    while (!core_->halted()) process_impl<false, false>(core_->step());
   }
   return stats_;
 }

@@ -39,6 +39,10 @@
 #include "pipeline/width_limiter.h"
 #include "util/stats.h"
 
+namespace sempe::obs {
+class Histogram;
+}  // namespace sempe::obs
+
 namespace sempe::pipeline {
 
 struct PipelineStats {
@@ -110,6 +114,13 @@ class Pipeline {
   /// Process a single dynamic instruction (exposed for tests).
   void process(const cpu::DynOp& op);
 
+  /// Attach (nullptr detaches) a histogram recording each load's memory
+  /// latency in cycles. Like on_retire, the attachment is tested once up
+  /// front — the unobserved path runs a loop instantiation with the
+  /// recording statically compiled out, so sweeps without an observability
+  /// session pay nothing.
+  void set_load_latency_hist(obs::Histogram* h) { load_lat_hist_ = h; }
+
   const PipelineStats& stats() const { return stats_; }
   const mem::Hierarchy& memory() const { return *hier_; }
   const branch::Tage& tage() const { return tage_; }
@@ -138,9 +149,10 @@ class Pipeline {
   Cycle fetch_of(const cpu::DynOp& op);
   void handle_control(const cpu::DynOp& op, Cycle fetch, Cycle complete,
                       Cycle commit);
-  /// The body of process(); kNotify compiles the retire-hook dispatch in or
-  /// out so the hot sweep path (no recorder attached) pays nothing for it.
-  template <bool kNotify>
+  /// The body of process(); kNotify compiles the retire-hook dispatch in
+  /// or out, kObserve the load-latency histogram recording, so the hot
+  /// sweep path (no observers attached) pays nothing for either.
+  template <bool kNotify, bool kObserve>
   void process_impl(const cpu::DynOp& op);
 
   cpu::FunctionalCore* core_;
@@ -190,6 +202,7 @@ class Pipeline {
   Cycle line_ready_ = 0;
   Cycle last_commit_ = 0;
   u64 processed_ = 0;
+  obs::Histogram* load_lat_hist_ = nullptr;
 
   PipelineStats stats_;
 };

@@ -1,9 +1,12 @@
 #include "security/audit.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "obs/report.h"
 #include "sim/simulator.h"
+#include "util/clock.h"
 #include "util/rng.h"
 #include "workloads/registry.h"
 
@@ -132,7 +135,12 @@ WorkloadAudit audit_workload(const std::string& spec_text,
 
   // Mask-major: each variant is built once per secret vector and reused by
   // every mode that runs it (legacy and sempe share the secure binary).
+  obs::Session* const os = obs::session();
+  const obs::TraceSpan sampling_span(os != nullptr ? os->trace() : nullptr,
+                                     "audit_sampling");
+  usize sample_index = 0;
   for (const u64 mask : audit.masks) {
+    const Stopwatch sample_sw;
     workloads::WorkloadSpec s = parsed;
     if (audit.secret_width > 0)
       s.set("secrets", workloads::secrets_literal(mask, audit.secret_width));
@@ -167,6 +175,16 @@ WorkloadAudit audit_workload(const std::string& spec_text,
             sim::first_result_mismatch(r.probed, b.expected_results);
       }
     }
+    ++sample_index;
+    if (os != nullptr) {
+      os->timing().local().hist("audit.sample_ns").record(
+          sample_sw.elapsed_ns());
+      if (os->metrics_enabled()) os->metrics().local().add("audit.samples");
+    }
+    if (opt.progress)
+      std::fprintf(stderr, "\raudit %s: sample %zu/%zu%s",
+                   parsed.name.c_str(), sample_index, audit.masks.size(),
+                   sample_index == audit.masks.size() ? "\n" : "");
   }
 
   for (usize mi = 0; mi < mode_runs.size(); ++mi) {

@@ -31,6 +31,8 @@ struct AuditOptions {
                       // nothing and would pass vacuously
   u64 seed = 1;       // sampler seed for spaces larger than `samples`
   bool include_cte = true;  // audit the CTE binary too, when one exists
+  bool progress = false;    // stderr per-sample progress (sempe_run
+                            // --audit --progress; never touches stdout)
 };
 
 /// Verdict for one attacker channel of one execution mode.

@@ -103,20 +103,36 @@ usize resolve_threads(usize requested, usize jobs) {
   return n == 0 ? 1 : n;
 }
 
+namespace {
+
+// Every run_*_jobs wrapper labels its jobs the same way.
+template <typename Job>
+auto label_of(const std::vector<Job>& jobs) {
+  return [&jobs](usize i) { return jobs[i].label; };
+}
+
+}  // namespace
+
 std::vector<MicrobenchPoint> run_microbench_jobs(
     const std::vector<MicrobenchJob>& jobs, usize threads) {
-  return run_indexed(jobs.size(), threads, [&](usize i) {
-    const MicrobenchJob& j = jobs[i];
-    return measure_microbench(j.kind, j.width, j.opt);
-  });
+  return run_indexed_labeled(
+      jobs.size(), threads,
+      [&](usize i) {
+        const MicrobenchJob& j = jobs[i];
+        return measure_microbench(j.kind, j.width, j.opt);
+      },
+      label_of(jobs));
 }
 
 std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
                                        usize threads) {
-  return run_indexed(jobs.size(), threads, [&](usize i) {
-    const DjpegJob& j = jobs[i];
-    return measure_djpeg(j.format, j.pixels, j.scale, j.image_seed);
-  });
+  return run_indexed_labeled(
+      jobs.size(), threads,
+      [&](usize i) {
+        const DjpegJob& j = jobs[i];
+        return measure_djpeg(j.format, j.pixels, j.scale, j.image_seed);
+      },
+      label_of(jobs));
 }
 
 std::vector<WorkloadPoint> run_workload_jobs(
@@ -124,37 +140,49 @@ std::vector<WorkloadPoint> run_workload_jobs(
   // Touch the registry before fanning out: its lazy construction is the
   // only shared mutable state a workload job could race on.
   workloads::WorkloadRegistry::instance();
-  return run_indexed(jobs.size(), threads, [&](usize i) {
-    const WorkloadJob& j = jobs[i];
-    return measure_workload(j.spec, j.opt);
-  });
+  return run_indexed_labeled(
+      jobs.size(), threads,
+      [&](usize i) {
+        const WorkloadJob& j = jobs[i];
+        return measure_workload(j.spec, j.opt);
+      },
+      label_of(jobs));
 }
 
 std::vector<LeakagePoint> run_leakage_jobs(
     const std::vector<LeakageJob>& jobs, usize threads) {
   workloads::WorkloadRegistry::instance();  // pre-touch, as above
-  return run_indexed(jobs.size(), threads, [&](usize i) {
-    const LeakageJob& j = jobs[i];
-    return measure_leakage(j.spec, j.opt);
-  });
+  return run_indexed_labeled(
+      jobs.size(), threads,
+      [&](usize i) {
+        const LeakageJob& j = jobs[i];
+        return measure_leakage(j.spec, j.opt);
+      },
+      label_of(jobs));
 }
 
 std::vector<LintPoint> run_lint_jobs(const std::vector<LintJob>& jobs,
                                      usize threads) {
   workloads::WorkloadRegistry::instance();  // pre-touch, as above
-  return run_indexed(jobs.size(), threads, [&](usize i) {
-    const LintJob& j = jobs[i];
-    return measure_lint(j.spec, j.opt);
-  });
+  return run_indexed_labeled(
+      jobs.size(), threads,
+      [&](usize i) {
+        const LintJob& j = jobs[i];
+        return measure_lint(j.spec, j.opt);
+      },
+      label_of(jobs));
 }
 
 std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
                                      usize threads) {
   workloads::WorkloadRegistry::instance();  // pre-touch, as above
-  return run_indexed(jobs.size(), threads, [&](usize i) {
-    const PerfJob& j = jobs[i];
-    return measure_perf(j.spec, j.opt);
-  });
+  return run_indexed_labeled(
+      jobs.size(), threads,
+      [&](usize i) {
+        const PerfJob& j = jobs[i];
+        return measure_perf(j.spec, j.opt);
+      },
+      label_of(jobs));
 }
 
 std::vector<MicrobenchJob> microbench_grid(
@@ -567,6 +595,20 @@ BatchCli parse_batch_cli(int& argc, char** argv) {
     } else if (!std::strncmp(a, "--json=", 7)) {
       cli.want_json = true;
       cli.json_path = a + 7;
+    } else if (!std::strncmp(a, "--trace-out=", 12)) {
+      cli.trace_path = a + 12;
+      if (cli.trace_path.empty()) {
+        cli.ok = false;
+        cli.error = a;
+      }
+    } else if (!std::strncmp(a, "--metrics-out=", 14)) {
+      cli.metrics_path = a + 14;
+      if (cli.metrics_path.empty()) {
+        cli.ok = false;
+        cli.error = a;
+      }
+    } else if (!std::strcmp(a, "--progress")) {
+      cli.progress = true;
     } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
       cli.help = true;
     } else {
@@ -597,6 +639,30 @@ std::FILE* report_stream(const BatchCli& cli) {
   return cli.want_json && cli.json_path.empty() ? stderr : stdout;
 }
 
+namespace {
+
+/// Write `text` to `path`, diagnosing failures on stderr.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  const usize written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size()) {
+    std::fprintf(stderr, "short write to '%s'\n", path.c_str());
+    return false;
+  }
+  if (!closed) {
+    std::fprintf(stderr, "cannot flush '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool emit_json(const BatchCli& cli, const std::string& json) {
   if (cli.json_path.empty()) {
     const usize written = std::fwrite(json.data(), 1, json.size(), stdout);
@@ -606,32 +672,61 @@ bool emit_json(const BatchCli& cli, const std::string& json) {
     }
     return true;
   }
-  std::FILE* f = std::fopen(cli.json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write '%s'\n", cli.json_path.c_str());
-    return false;
+  return write_text_file(cli.json_path, json);
+}
+
+std::unique_ptr<obs::Session> make_obs_session(const BatchCli& cli) {
+  obs::Session::Options opt;
+  opt.metrics = !cli.metrics_path.empty();
+  opt.trace = !cli.trace_path.empty();
+  opt.progress = cli.progress;
+  if (!opt.metrics && !opt.trace && !opt.progress) return nullptr;
+  auto session = std::make_unique<obs::Session>(opt);
+  obs::set_session(session.get());
+  return session;
+}
+
+bool finish_obs_session(const BatchCli& cli, const std::string& experiment,
+                        std::unique_ptr<obs::Session> session) {
+  obs::set_session(nullptr);
+  if (session == nullptr) return true;
+  return write_obs_outputs(*session, experiment, cli.trace_path,
+                           cli.metrics_path);
+}
+
+bool write_obs_outputs(obs::Session& session, const std::string& experiment,
+                       const std::string& trace_path,
+                       const std::string& metrics_path) {
+  bool ok = true;
+  if (!trace_path.empty() && session.trace() != nullptr) {
+    ok = write_text_file(trace_path, session.trace()->to_json()) && ok;
+    if (session.trace()->dropped() > 0)
+      std::fprintf(stderr, "trace: %" PRIu64 " event(s) dropped (ring full)\n",
+                   session.trace()->dropped());
   }
-  const usize written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != json.size()) {
-    std::fprintf(stderr, "short write to '%s'\n", cli.json_path.c_str());
-    return false;
-  }
-  if (!closed) {
-    std::fprintf(stderr, "cannot flush '%s'\n", cli.json_path.c_str());
-    return false;
-  }
-  return true;
+  if (!metrics_path.empty())
+    ok = write_text_file(metrics_path,
+                         obs::render_report(experiment, session)) &&
+         ok;
+  return ok;
 }
 
 void print_batch_usage(const char* argv0, const char* what) {
   std::fprintf(stderr,
                "%s — %s\n"
                "usage: %s [--threads=N] [--json[=FILE]]\n"
-               "  --threads=N  worker threads for the experiment sweep\n"
-               "               (default: all hardware threads)\n"
-               "  --json[=F]   emit deterministic machine-readable results\n"
-               "               to FILE (default: stdout)\n"
+               "          [--trace-out=FILE] [--metrics-out=FILE] "
+               "[--progress]\n"
+               "  --threads=N      worker threads for the experiment sweep\n"
+               "                   (default: all hardware threads)\n"
+               "  --json[=F]       emit deterministic machine-readable\n"
+               "                   results to FILE (default: stdout)\n"
+               "  --trace-out=F    write a Chrome trace-event timeline of\n"
+               "                   the sweep (chrome://tracing, Perfetto)\n"
+               "  --metrics-out=F  write the structured metric report\n"
+               "                   (counters, gauges, histograms, timers)\n"
+               "  --progress       stderr progress meter (done/total, ETA,\n"
+               "                   worker utilization)\n"
                "env: SEMPE_BENCH_ITERS, SEMPE_DJPEG_SCALE scale the "
                "workloads\n",
                argv0, what, argv0);

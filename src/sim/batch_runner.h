@@ -11,14 +11,23 @@
 // The bench_* binaries all dispatch their sweeps through this driver and
 // share the same CLI surface:
 //
-//   --threads=N   worker threads (default: all hardware threads)
-//   --json[=F]    emit machine-readable results to file F (or stdout)
+//   --threads=N      worker threads (default: all hardware threads)
+//   --json[=F]       emit machine-readable results to file F (or stdout)
+//   --trace-out=F    Chrome trace-event timeline of the sweep (obs/)
+//   --metrics-out=F  end-of-run structured metric report (obs/)
+//   --progress       stderr progress meter (jobs done/total, ETA)
+//
+// The observability flags feed the src/obs/ session the mains install via
+// make_obs_session(); none of them perturb the deterministic --json
+// document (progress and the human report go to stderr, metrics and
+// traces to their own files).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -26,7 +35,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/report.h"
 #include "sim/experiment.h"
+#include "util/clock.h"
 
 namespace sempe::sim {
 
@@ -73,6 +84,49 @@ auto run_indexed(usize n, usize threads, Fn&& fn)
         [](const auto& a, const auto& b) { return a.first < b.first; });
     std::rethrow_exception(first->second);
   }
+  return results;
+}
+
+/// run_indexed with per-job observability: when a session is installed
+/// (obs::session() != nullptr), each job gets a trace span named
+/// label_of(i) on its worker's track — with its queue wait (sweep start to
+/// job start) attached as an arg — plus a "job.execute_ns" timing
+/// histogram sample, a deterministic "jobs.completed" count, and a
+/// progress tick. With no session this forwards straight to run_indexed.
+template <typename Fn, typename LabelFn>
+auto run_indexed_labeled(usize n, usize threads, Fn&& fn, LabelFn&& label_of)
+    -> std::vector<std::invoke_result_t<Fn&, usize>> {
+  obs::Session* const os = obs::session();
+  if (os == nullptr)
+    return run_indexed(n, threads, std::forward<Fn>(fn));
+  if (os->progress() != nullptr)
+    os->progress()->start(n, resolve_threads(threads, n));
+  const u64 sweep_epoch = mono_ns();
+  const auto job_done = [os](const std::string& label, u64 begin_ns) {
+    const u64 ns = mono_ns() - begin_ns;
+    if (os->trace() != nullptr) os->trace()->end(label);
+    os->timing().local().hist("job.execute_ns").record(ns);
+    if (os->metrics_enabled()) os->metrics().local().add("jobs.completed");
+    if (os->progress() != nullptr) os->progress()->tick(ns);
+  };
+  auto results = run_indexed(n, threads, [&](usize i) {
+    const u64 begin_ns = mono_ns();
+    const std::string label = label_of(i);
+    if (os->trace() != nullptr)
+      os->trace()->begin(label, "queue_wait_us",
+                         (begin_ns - sweep_epoch) / 1000);
+    try {
+      auto r = fn(i);
+      job_done(label, begin_ns);
+      return r;
+    } catch (...) {
+      job_done(label, begin_ns);  // keep B/E spans balanced
+      throw;
+    }
+  });
+  os->timing().local().add("sweep.wall_ns", mono_ns() - sweep_epoch);
+  os->timing().local().add("sweep.count");
+  if (os->progress() != nullptr) os->progress()->finish();
   return results;
 }
 
@@ -215,12 +269,15 @@ std::string strip_perf_timing(const std::string& json);
 // Shared bench CLI.
 
 struct BatchCli {
-  usize threads = 0;      // 0 = all hardware threads
+  usize threads = 0;        // 0 = all hardware threads
   bool want_json = false;
-  std::string json_path;  // empty with want_json set = stdout
+  std::string json_path;    // empty with want_json set = stdout
+  std::string trace_path;   // --trace-out=F (empty: tracing off)
+  std::string metrics_path; // --metrics-out=F (empty: metrics off)
+  bool progress = false;    // --progress: stderr sweep progress meter
   bool help = false;
-  bool ok = true;         // false: unrecognized argument
-  std::string error;      // the offending argument
+  bool ok = true;           // false: unrecognized argument
+  std::string error;        // the offending argument
 };
 
 /// Strip the flags this driver owns (--threads=N, --json[=F], --help) out
@@ -242,6 +299,24 @@ std::FILE* report_stream(const BatchCli& cli);
 /// Write `json` to cli.json_path (stdout when empty). Returns false and
 /// prints a diagnostic on I/O failure.
 bool emit_json(const BatchCli& cli, const std::string& json);
+
+/// Build the observability session the CLI flags ask for and install it
+/// as the process-global (obs::set_session). Returns nullptr — and
+/// installs nothing — when no observability flag was given, so the
+/// unobserved sweep path is byte-for-byte the pre-observability code.
+std::unique_ptr<obs::Session> make_obs_session(const BatchCli& cli);
+
+/// Uninstall the global session and write the --trace-out /
+/// --metrics-out files. A null session is a no-op returning true;
+/// otherwise returns false (with a stderr diagnostic) on I/O failure.
+bool finish_obs_session(const BatchCli& cli, const std::string& experiment,
+                        std::unique_ptr<obs::Session> session);
+
+/// Serialize and write a session's outputs (either path may be empty =
+/// skip). Shared by finish_obs_session and the sempe_run driver.
+bool write_obs_outputs(obs::Session& session, const std::string& experiment,
+                       const std::string& trace_path,
+                       const std::string& metrics_path);
 
 /// Print the shared usage text for a bench binary.
 void print_batch_usage(const char* argv0, const char* what);

@@ -1,7 +1,8 @@
 #include "sim/experiment.h"
 
-#include <chrono>
 #include <cstdlib>
+
+#include "util/clock.h"
 
 namespace sempe::sim {
 
@@ -251,11 +252,9 @@ LintPoint measure_lint(const std::string& spec,
 PerfPoint measure_perf(const std::string& spec,
                        const MicrobenchOptions& opt) {
   PerfPoint pt;
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch sw;
   pt.point = measure_workload(spec, opt);
-  pt.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  pt.wall_seconds = sw.elapsed_seconds();
   return pt;
 }
 

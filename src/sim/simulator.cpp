@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/report.h"
+
 namespace sempe::sim {
 
 namespace {
@@ -34,12 +36,21 @@ std::string first_result_mismatch(const std::vector<u64>& probed,
 }
 
 RunResult run(const isa::Program& program, const RunConfig& cfg) {
+  obs::Session* const os = obs::session();
+  const obs::TraceSpan span(os != nullptr ? os->trace() : nullptr,
+                            "detailed_sim");
   mem::MainMemory& memory = scratch_memory();
   cpu::CoreConfig core_cfg = cfg.core;
   core_cfg.mode = cfg.mode;
   cpu::FunctionalCore core(&program, &memory, core_cfg);
 
   pipeline::Pipeline pipe(&core, cfg.pipe);
+  if (os != nullptr && os->metrics_enabled()) {
+    // Resolved once per run; the hot loop then records through the raw
+    // pointer (compiled in via the kObserve instantiation).
+    pipe.set_load_latency_hist(
+        &os->metrics().local().hist("sim.load_latency_cycles"));
+  }
   RunResult r;
   if (cfg.record_observations) {
     security::ObservationRecorder recorder(cfg.pipe.memory.dl1.line_bytes);
@@ -61,6 +72,15 @@ RunResult run(const isa::Program& program, const RunConfig& cfg) {
   r.jb_high_water = core.jb_table().high_water();
   for (usize i = 0; i < cfg.probe_words; ++i)
     r.probed.push_back(memory.read_u64(cfg.probe_addr + i * 8));
+  if (os != nullptr && os->metrics_enabled()) {
+    // Federate the run's cold StatSet exports into this worker's shard.
+    // Counters sum and gauges max across runs, so the merged view is
+    // independent of which worker executed which job.
+    obs::MetricShard& m = os->metrics().local();
+    m.add("sim.detailed_runs");
+    m.import_stats("pipeline.", r.stats.export_stats());
+    m.import_stats("mem.", pipe.memory().export_stats());
+  }
   return r;
 }
 
@@ -69,6 +89,9 @@ FunctionalResult run_functional(const isa::Program& program,
                                 const cpu::CoreConfig& core_cfg,
                                 Addr probe_addr, usize probe_words,
                                 usize line_bytes) {
+  obs::Session* const os = obs::session();
+  const obs::TraceSpan span(os != nullptr ? os->trace() : nullptr,
+                            "functional");
   mem::MainMemory& memory = scratch_memory();
   cpu::CoreConfig cc = core_cfg;
   cc.mode = mode;
@@ -82,6 +105,11 @@ FunctionalResult run_functional(const isa::Program& program,
   r.trace = recorder.trace();
   for (usize i = 0; i < probe_words; ++i)
     r.probed.push_back(memory.read_u64(probe_addr + i * 8));
+  if (os != nullptr && os->metrics_enabled()) {
+    obs::MetricShard& m = os->metrics().local();
+    m.add("sim.functional_runs");
+    m.add("sim.functional_instructions", r.instructions);
+  }
   return r;
 }
 

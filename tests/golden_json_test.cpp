@@ -48,6 +48,33 @@ std::string normalize_points(const std::string& json) {
   return out.str();
 }
 
+/// Normalizer for the --metrics-out report: the meta header stays
+/// verbatim; every other `"key": value` line keeps the key (the metric
+/// namespace IS the schema) and blanks the value. Lines opening nested
+/// objects (sections, histograms) pass through, pinning the structure.
+std::string normalize_report(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  bool in_meta = false;
+  while (std::getline(in, line)) {
+    if (line == "  \"meta\": {") in_meta = true;
+    else if (in_meta && line == "  },") in_meta = false;
+    const auto q1 = line.find('"');
+    const auto q2 = q1 == std::string::npos
+                        ? std::string::npos
+                        : line.find("\": ", q1 + 1);
+    const bool opens_object = !line.empty() && line.back() == '{';
+    if (!in_meta && q2 != std::string::npos && !opens_object) {
+      const bool comma = !line.empty() && line.back() == ',';
+      out << line.substr(0, q2 + 3) << "_" << (comma ? "," : "") << "\n";
+    } else {
+      out << line << "\n";
+    }
+  }
+  return out.str();
+}
+
 void check_golden(const char* fname, const std::string& normalized) {
   const std::string path = std::string(SEMPE_GOLDEN_DIR) + "/" + fname;
   if (std::getenv("SEMPE_UPDATE_GOLDEN") != nullptr) {
@@ -126,6 +153,29 @@ TEST(GoldenJson, BenchScenariosByteIdenticalAcrossThreadsAndPinned) {
       std::string::npos);
   for (const auto& pt : pts1) EXPECT_TRUE(pt.results_ok) << pt.spec;
   check_golden("bench_scenarios.json.golden", normalize_points(j1));
+}
+
+TEST(GoldenJson, MetricsReportSchemaIsPinned) {
+  // The --metrics-out document (src/obs/report.h): metric names and
+  // section structure are the schema; values — and the whole host-timing
+  // section, which strip_report_timing removes — are not.
+  const std::vector<std::string> specs = {
+      "synthetic.cond_branch?size=32&width=1&iters=1",
+      "synthetic.stream?size=32&width=1&iters=1",
+  };
+  const auto jobs = workload_grid(specs, MicrobenchOptions{});
+  obs::Session::Options opt;
+  opt.metrics = true;
+  obs::Session session(opt);
+  {
+    const obs::ScopedSession scope(&session);
+    run_workload_jobs(jobs, 2);
+  }
+  const std::string report = obs::render_report("golden", session);
+  EXPECT_NE(report.find("\"schema_version\": 1"), std::string::npos);
+  const std::string stripped = obs::strip_report_timing(report);
+  EXPECT_EQ(stripped.find("\"timing\""), std::string::npos);
+  check_golden("metrics_report.json.golden", normalize_report(stripped));
 }
 
 }  // namespace
