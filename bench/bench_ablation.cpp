@@ -10,8 +10,10 @@
 //      against the standalone ideal, beat) the sum-of-paths bound.
 //
 // All 31 ablation points are independent and run concurrently through
-// sim/batch_runner.h; the sections below recombine them by index.
+// sim/batch_runner.h; the sections below recombine them by job label, so a
+// --jobs filter or --shard simply drops the rows it starves.
 #include <cstdio>
+#include <string>
 
 #include "sim/batch_runner.h"
 
@@ -64,7 +66,6 @@ int main(int argc, char** argv) {
     jobs.push_back(snapshot_job(w, cpu::SnapshotModel::kPhyRS, "phyrs", base));
     jobs.push_back(snapshot_job(w, cpu::SnapshotModel::kLRS, "lrs", base));
   }
-  const usize spm_begin = jobs.size();
   // Section 2: SPM port throughput.
   for (const u32 rate : kSpmRates) {
     MicrobenchJob j;
@@ -75,7 +76,6 @@ int main(int argc, char** argv) {
     j.opt.spm_bytes_per_cycle = rate;
     jobs.push_back(std::move(j));
   }
-  const usize prefetch_begin = jobs.size();
   // Section 3: prefetching effect, on then off.
   for (const bool enabled : {true, false}) {
     MicrobenchJob j;
@@ -87,48 +87,64 @@ int main(int argc, char** argv) {
     jobs.push_back(std::move(j));
   }
 
+  sim::apply_job_filter(jobs, cli);
+
   const Stopwatch sweep_sw;
-  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const auto run = sim::run_microbench_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
+  // The sections recombine points by job label: a filtered or sharded run
+  // holds only a subset, so rows with a missing ingredient are skipped.
+  const auto by_job = sim::points_by_job(run);
+  const auto find = [&](const std::string& label) -> const auto* {
+    for (usize k = 0; k < jobs.size(); ++k)
+      if (jobs[k].label == label) return by_job[k];
+    return static_cast<const sim::MicrobenchPoint*>(nullptr);
+  };
+
   for (usize w = 1; w <= kSnapshotWidths; ++w) {
-    const auto& arch = points[(w - 1) * 3 + 0];
-    const auto& phy = points[(w - 1) * 3 + 1];
-    const auto& lrs = points[(w - 1) * 3 + 2];
+    const std::string suffix = "/W=" + std::to_string(w);
+    const auto* arch = find("snapshot/archrs" + suffix);
+    const auto* phy = find("snapshot/phyrs" + suffix);
+    const auto* lrs = find("snapshot/lrs" + suffix);
+    if (!arch || !phy || !lrs) continue;
     // Normalize every configuration's protected run against the SAME
     // (ArchRS-machine) unprotected baseline: LRS's rename-table stage taxes
     // the whole program — including code outside secure regions — which is
     // exactly the paper's objection to it.
-    const double b = static_cast<double>(arch.baseline_cycles);
+    const double b = static_cast<double>(arch->baseline_cycles);
     const double lrs_base_tax =
-        static_cast<double>(lrs.baseline_cycles) / b - 1.0;
+        static_cast<double>(lrs->baseline_cycles) / b - 1.0;
     std::fprintf(out,
         "Ablation/snapshot  W=%zu  ArchRS %5.2fx   PhyRS %5.2fx   LRS %5.2fx "
         "(+%4.1f%% tax on unprotected code)\n",
-        w, static_cast<double>(arch.sempe_cycles) / b,
-        static_cast<double>(phy.sempe_cycles) / b,
-        static_cast<double>(lrs.sempe_cycles) / b, lrs_base_tax * 100.0);
+        w, static_cast<double>(arch->sempe_cycles) / b,
+        static_cast<double>(phy->sempe_cycles) / b,
+        static_cast<double>(lrs->sempe_cycles) / b, lrs_base_tax * 100.0);
   }
   for (usize i = 0; i < kNumSpm; ++i) {
+    const auto* pt = find("spm/" + std::to_string(kSpmRates[i]) + "B");
+    if (!pt) continue;
     std::fprintf(out,
       "Ablation/spm  %3u B/cycle  SeMPE %5.2fx (fibonacci, W=4)\n",
-                kSpmRates[i], points[spm_begin + i].sempe_slowdown());
+                kSpmRates[i], pt->sempe_slowdown());
   }
   for (usize i = 0; i < 2; ++i) {
+    const auto* pt = find(i == 0 ? "prefetch/on" : "prefetch/off");
+    if (!pt) continue;
     std::fprintf(out,
         "Ablation/prefetch  %s  SeMPE/ideal(standalone) = %.3f (ones, W=6)\n",
-        i == 0 ? "on " : "off",
-        points[prefetch_begin + i].sempe_vs_ideal_standalone());
+        i == 0 ? "on " : "off", pt->sempe_vs_ideal_standalone());
   }
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "ablation", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::microbench_json("ablation", jobs, points)))
+      !sim::emit_json(cli, sim::microbench_json("ablation", jobs, run)))
     return 1;
   return 0;
 }

@@ -25,15 +25,15 @@ int main(int argc, char** argv) {
 
   sim::MicrobenchOptions opt;
   opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
-  const auto jobs = sim::microbench_grid(
+  auto jobs = sim::microbench_grid(
       sim::all_kinds(), {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opt);
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const auto run = sim::run_microbench_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
-  for (usize i = 0; i < points.size(); ++i) {
-    const auto& pt = points[i];
+  for (const auto& pt : run.points) {
     std::fprintf(out,
         "Fig10a  %-10s W=%2zu  SeMPE %6.2fx   CTE %7.2fx   (CTE/SeMPE "
         "%5.2fx)\n",
@@ -41,14 +41,14 @@ int main(int argc, char** argv) {
         pt.cte_slowdown(), pt.cte_vs_sempe());
   }
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "fig10a", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::microbench_json("fig10a", jobs, points)))
+      !sim::emit_json(cli, sim::microbench_json("fig10a", jobs, run)))
     return 1;
   return 0;
 }

@@ -30,24 +30,29 @@ int main(int argc, char** argv) {
   sim::MicrobenchOptions opt;
   opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
   const std::vector<usize> widths = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  const auto jobs = sim::microbench_grid(sim::all_kinds(), widths, opt);
+  auto jobs = sim::microbench_grid(sim::all_kinds(), widths, opt);
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const auto run = sim::run_microbench_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
-  const usize num_kinds = sim::all_kinds().size();
+  // The report averages per W over the kinds; a --jobs filter or --shard
+  // may leave holes, so rows average only the points this run has (and a
+  // width with no points prints no row).
   for (usize wi = 0; wi < widths.size(); ++wi) {
     double vs_standalone = 0, vs_combined = 0, cte_vs_standalone = 0;
-    for (usize k = 0; k < num_kinds; ++k) {
-      // microbench_grid is kind-major: jobs[k * widths.size() + wi].
-      const auto& pt = points[k * widths.size() + wi];
+    usize present = 0;
+    for (const auto& pt : run.points) {
+      if (pt.width != widths[wi]) continue;
+      ++present;
       vs_standalone += pt.sempe_vs_ideal_standalone();
       vs_combined += pt.sempe_vs_ideal_combined();
       cte_vs_standalone += sim::MicrobenchPoint::ratio(
           pt.cte_cycles, pt.ideal_standalone_cycles);
     }
-    const double n = static_cast<double>(num_kinds);
+    if (present == 0) continue;
+    const double n = static_cast<double>(present);
     std::fprintf(out,
         "Fig10b  W=%2zu  SeMPE/ideal(standalone) %5.2f   "
         "SeMPE/ideal(combined) %5.2f   CTE/ideal %6.2f\n",
@@ -55,14 +60,14 @@ int main(int argc, char** argv) {
         cte_vs_standalone / n);
   }
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "fig10b", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::microbench_json("fig10b", jobs, points)))
+      !sim::emit_json(cli, sim::microbench_json("fig10b", jobs, run)))
     return 1;
   return 0;
 }

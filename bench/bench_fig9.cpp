@@ -23,15 +23,16 @@ int main(int argc, char** argv) {
   auto obs_session = sim::make_obs_session(cli);
 
   const usize scale = sim::env_usize("SEMPE_DJPEG_SCALE", 8);
-  const auto jobs = sim::djpeg_grid(
+  auto jobs = sim::djpeg_grid(
       {OutputFormat::kPpm, OutputFormat::kGif, OutputFormat::kBmp},
       sim::djpeg_sizes(), scale);
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_djpeg_jobs(jobs, cli.threads);
+  const auto run = sim::run_djpeg_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
-  for (const auto& pt : points) {
+  for (const auto& pt : run.points) {
     std::fprintf(out,
         "Fig9  %-4s %5zuk  IL1 %5.2f%%|%5.2f%%  DL1 %5.2f%%|%5.2f%%  "
         "L2 %5.2f%%|%5.2f%%   (baseline|SeMPE)\n",
@@ -41,14 +42,14 @@ int main(int argc, char** argv) {
         pt.baseline.l2_miss_rate() * 100, pt.sempe.l2_miss_rate() * 100);
   }
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "fig9", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::djpeg_json("fig9", jobs, points)))
+      !sim::emit_json(cli, sim::djpeg_json("fig9", jobs, run)))
     return 1;
   return 0;
 }

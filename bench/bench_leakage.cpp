@@ -43,14 +43,15 @@ int main(int argc, char** argv) {
     }
     specs.push_back(name + "?width=3&iters=" + std::to_string(iters));
   }
-  const auto jobs = sim::leakage_grid(specs, opt);
+  auto jobs = sim::leakage_grid(specs, opt);
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_leakage_jobs(jobs, cli.threads);
+  const auto run = sim::run_leakage_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
-  for (const auto& pt : points) {
+  for (const auto& pt : run.points) {
     const security::WorkloadAudit& a = pt.audit;
     all_ok = all_ok && pt.sempe_closed() && pt.results_ok();
     std::fprintf(out, "leakage  %-58s  W=%zu n=%zu", a.spec.c_str(),
@@ -74,14 +75,14 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(stderr, "audited %zu workload(s) in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "leakage", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::leakage_json("leakage", jobs, points)))
+      !sim::emit_json(cli, sim::leakage_json("leakage", jobs, run)))
     return 1;
   return all_ok ? 0 : 1;
 }

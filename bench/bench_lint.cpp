@@ -53,14 +53,15 @@ int main(int argc, char** argv) {
     }
     specs.push_back(name + "?width=3&iters=" + std::to_string(iters));
   }
-  const auto jobs = sim::lint_grid(specs, opt);
+  auto jobs = sim::lint_grid(specs, opt);
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_lint_jobs(jobs, cli.threads);
+  const auto run = sim::run_lint_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
-  for (const auto& pt : points) {
+  for (const auto& pt : run.points) {
     const security::WorkloadLint& l = pt.lint;
     all_ok = all_ok && pt.ok();
     std::fprintf(out,
@@ -79,14 +80,14 @@ int main(int argc, char** argv) {
       std::fprintf(out, "  (warn) %s\n", pt.warning_summary().c_str());
   }
   std::fprintf(stderr, "linted %zu workload(s) in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "lint", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::lint_json("lint", jobs, points)))
+      !sim::emit_json(cli, sim::lint_json("lint", jobs, run)))
     return 1;
   return all_ok ? 0 : 1;
 }

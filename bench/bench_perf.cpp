@@ -38,16 +38,17 @@ int main(int argc, char** argv) {
 
   const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 8);
   const std::vector<std::string> specs = sim::perf_sweep_specs(iters);
-  const auto jobs = sim::perf_grid(specs, sim::MicrobenchOptions{});
+  auto jobs = sim::perf_grid(specs, sim::MicrobenchOptions{});
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_perf_jobs(jobs, cli.threads);
+  const auto run = sim::run_perf_sweep(jobs, sim::sweep_options(cli));
   const double sweep_secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
   u64 total_instructions = 0;
   double total_point_secs = 0.0;
-  for (const auto& pp : points) {
+  for (const auto& pp : run.points) {
     all_ok = all_ok && pp.point.results_ok;
     total_instructions += pp.simulated_instructions();
     total_point_secs += pp.wall_seconds;
@@ -74,14 +75,14 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(total_instructions), agg_mips,
                sweep_mips);
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), sweep_secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), sweep_secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "perf", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::perf_json("perf", jobs, points)))
+      !sim::emit_json(cli, sim::perf_json("perf", jobs, run)))
     return 1;
   return all_ok ? 0 : 1;
 }

@@ -41,14 +41,15 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto jobs = sim::workload_grid(specs, sim::MicrobenchOptions{});
+  auto jobs = sim::workload_grid(specs, sim::MicrobenchOptions{});
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_workload_jobs(jobs, cli.threads);
+  const auto run = sim::run_workload_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
   bool all_ok = true;
-  for (const auto& pt : points) {
+  for (const auto& pt : run.points) {
     all_ok = all_ok && pt.results_ok;
     std::fprintf(out,
                  "synthetic  %-48s  SeMPE %6.2fx   CTE %7.2fx   %s\n",
@@ -58,14 +59,14 @@ int main(int argc, char** argv) {
       std::fprintf(out, "  !! %s\n", pt.mismatch_summary().c_str());
   }
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "synthetic", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::workload_json("synthetic", jobs, points)))
+      !sim::emit_json(cli, sim::workload_json("synthetic", jobs, run)))
     return 1;
   return all_ok ? 0 : 1;
 }

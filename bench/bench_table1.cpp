@@ -24,14 +24,17 @@ int main(int argc, char** argv) {
 
   sim::MicrobenchOptions opt;
   opt.iterations = sim::env_usize("SEMPE_BENCH_ITERS", 20);
-  const auto jobs = sim::microbench_grid(sim::all_kinds(), {10}, opt);
+  auto jobs = sim::microbench_grid(sim::all_kinds(), {10}, opt);
+  sim::apply_job_filter(jobs, cli);
 
   const Stopwatch sweep_sw;
-  const auto points = sim::run_microbench_jobs(jobs, cli.threads);
+  const auto run = sim::run_microbench_sweep(jobs, sim::sweep_options(cli));
   const double secs = sweep_sw.elapsed_seconds();
 
+  // Worst case over whatever points this run has (--jobs / --shard may
+  // restrict the set; the full table needs the unrestricted sweep).
   double worst_cte = 0, worst_sempe = 0;
-  for (const auto& pt : points) {
+  for (const auto& pt : run.points) {
     worst_cte = std::max(worst_cte, pt.cte_slowdown());
     worst_sempe = std::max(worst_sempe, pt.sempe_slowdown());
   }
@@ -65,14 +68,14 @@ int main(int argc, char** argv) {
       "%-22s %-12s %-12s %-12s %-12s\n\n", "Backward compatible",
               "Yes", "No", "No", "Yes");
   std::fprintf(stderr, "swept %zu points in %.2fs on %zu thread(s)\n",
-               jobs.size(), secs,
-               sim::resolve_threads(cli.threads, jobs.size()));
+               run.points.size(), secs,
+               sim::resolve_threads(cli.threads, run.points.size()));
 
   if (!sim::finish_obs_session(cli, "table1", std::move(obs_session)))
     return 1;
 
   if (cli.want_json &&
-      !sim::emit_json(cli, sim::microbench_json("table1", jobs, points)))
+      !sim::emit_json(cli, sim::microbench_json("table1", jobs, run)))
     return 1;
   return 0;
 }

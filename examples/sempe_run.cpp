@@ -16,6 +16,13 @@
 // --trace-out=F (Chrome trace-event timeline) and --metrics-out=F
 // (structured metric report) — the src/obs/ observability outputs.
 //
+// --audit runs as a one-job sweep through sim/batch_runner.h, so it also
+// accepts the shared orchestration flags — --json[=F], --cache-dir=D,
+// --journal=F, --jobs=REGEX, --shard=i/N, --threads=N — with exactly the
+// bench_leakage semantics (a warm cache replays the stored audit; --shard
+// or --jobs may leave the single job to another invocation). The other
+// modes run one simulation directly and reject those flags.
+//
 // FILE.s is assembled (see isa/assembler.h for the grammar), statically
 // verified, and run on the selected core. --workload=SPEC instead resolves
 // a `name?key=val&...` spec (e.g. synthetic.ptr_chase?size=4096&stride=64)
@@ -62,6 +69,9 @@ void print_usage(const char* argv0) {
                "simulating modes also accept --trace-out=FILE "
                "(chrome://tracing timeline)\nand --metrics-out=FILE "
                "(structured metric report)\n"
+               "--audit also accepts the shared sweep flags: --json[=FILE] "
+               "--cache-dir=DIR\n--journal=FILE --jobs=REGEX --shard=i/N "
+               "--threads=N\n"
                "a ready-made assembly input lives at examples/demo.s, e.g.:\n"
                "  %s examples/demo.s --timeline\n"
                "registered workloads (SPEC is name or name?key=val&...):\n",
@@ -148,24 +158,38 @@ int run_workload(const std::string& spec_text, cpu::ExecMode mode,
 }
 
 int run_audit(const std::string& spec_text, usize samples, u64 seed,
-              bool progress) {
+              const sim::BatchCli& cli) {
   security::AuditOptions opt;
   opt.samples = samples;
   opt.seed = seed;
-  opt.progress = progress;
-  const security::WorkloadAudit audit =
-      security::audit_workload(spec_text, opt);
-  std::printf("%s", audit.to_string().c_str());
-  // Gate on the results of EVERY mode, like bench_leakage: a legacy/CTE
-  // run that went functionally wrong must not exit clean.
-  bool results_ok = true;
-  for (const security::ModeAudit& m : audit.modes)
-    results_ok = results_ok && m.results_ok;
-  const bool ok = audit.sempe_closed() && results_ok;
-  std::printf("verdict: %s\n",
-              ok ? "SeMPE closes every observed channel"
-                 : (results_ok ? "SeMPE LEAKS — see above"
-                               : "RESULTS MISMATCH — see above"));
+  opt.progress = cli.progress;
+  // The audit is a one-job sweep through the shared orchestration path,
+  // which is what makes --cache-dir / --journal / --shard / --jobs work
+  // here: a warm cache replays the stored WorkloadAudit verbatim.
+  auto jobs = sim::leakage_grid({spec_text}, opt);
+  sim::apply_job_filter(jobs, cli);
+  const auto run = sim::run_leakage_sweep(jobs, sim::sweep_options(cli));
+
+  bool ok = true;
+  for (const auto& pt : run.points) {
+    std::printf("%s", pt.audit.to_string().c_str());
+    // Gate on the results of EVERY mode, like bench_leakage: a legacy/CTE
+    // run that went functionally wrong must not exit clean.
+    const bool results_ok = pt.results_ok();
+    const bool point_ok = pt.sempe_closed() && results_ok;
+    std::printf("verdict: %s\n",
+                point_ok ? "SeMPE closes every observed channel"
+                         : (results_ok ? "SeMPE LEAKS — see above"
+                                       : "RESULTS MISMATCH — see above"));
+    ok = ok && point_ok;
+  }
+  if (run.points.empty())
+    std::fprintf(stderr,
+                 "audit: the job was filtered out or belongs to another "
+                 "shard; nothing ran\n");
+  if (cli.want_json &&
+      !sim::emit_json(cli, sim::leakage_json("audit", jobs, run)))
+    return 1;
   return ok ? 0 : 3;
 }
 
@@ -229,6 +253,21 @@ int run_assembly(const char* path, cpu::ExecMode mode, bool timeline,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The shared sweep/observability flags (--threads, --json, --trace-out,
+  // --metrics-out, --progress, --shard, --cache-dir, --journal, --jobs,
+  // --help) are stripped out of argv by the batch-runner parser; the loop
+  // below owns only the sempe_run-specific flags.
+  const sim::BatchCli cli = sim::parse_batch_cli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "bad argument '%s'\n", cli.error.c_str());
+    print_usage(argv[0]);
+    return 1;
+  }
+  if (cli.help) {
+    print_usage(argv[0]);
+    return 0;
+  }
+
   const char* path = nullptr;
   std::string workload, audit, lint;
   cpu::ExecMode mode = cpu::ExecMode::kSempe;
@@ -238,8 +277,6 @@ int main(int argc, char** argv) {
   usize samples = 8;
   u64 audit_seed = 1;
   bool samples_set = false, seed_set = false;
-  std::string trace_out, metrics_out;
-  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -268,20 +305,7 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(a, "--variant=cte")) {
       variant = workloads::Variant::kCte;
       variant_set = true;
-    } else if (!std::strncmp(a, "--trace-out=", 12)) {
-      trace_out = a + 12;
-      if (trace_out.empty()) {
-        std::fprintf(stderr, "--trace-out needs a file name\n");
-        return 1;
-      }
-    } else if (!std::strncmp(a, "--metrics-out=", 14)) {
-      metrics_out = a + 14;
-      if (metrics_out.empty()) {
-        std::fprintf(stderr, "--metrics-out needs a file name\n");
-        return 1;
-      }
-    } else if (!std::strcmp(a, "--progress")) progress = true;
-    else if (!std::strcmp(a, "--timeline")) timeline = true;
+    } else if (!std::strcmp(a, "--timeline")) timeline = true;
     else if (!std::strcmp(a, "--no-verify")) {
       verify = false;
       no_verify_set = true;
@@ -301,8 +325,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The shared sweep flags only make sense for --audit, the one mode that
+  // dispatches through the batch runner.
+  const char* sweep_flag = cli.want_json          ? "--json"
+                           : cli.threads != 0      ? "--threads"
+                           : cli.shard_count != 1  ? "--shard"
+                           : !cli.cache_dir.empty() ? "--cache-dir"
+                           : !cli.journal_path.empty() ? "--journal"
+                           : !cli.jobs_regex.empty()   ? "--jobs"
+                                                       : nullptr;
+
   if (list) {
-    if (argc > 2) {
+    if (argc > 2 || sweep_flag != nullptr || cli.progress ||
+        !cli.trace_path.empty() || !cli.metrics_path.empty()) {
       std::fprintf(stderr, "--list-workloads takes no other arguments\n");
       return 1;
     }
@@ -322,13 +357,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--samples/--seed only apply to --audit\n");
     return 1;
   }
-  if (progress && audit.empty()) {
+  if (audit.empty() && sweep_flag != nullptr) {
+    std::fprintf(stderr,
+                 "%s only applies to --audit (the other modes run one "
+                 "simulation, not a sweep)\n",
+                 sweep_flag);
+    return 1;
+  }
+  if (cli.progress && audit.empty()) {
     std::fprintf(stderr,
                  "--progress only applies to --audit (single runs have no "
                  "sweep to report on)\n");
     return 1;
   }
-  if (!lint.empty() && (!trace_out.empty() || !metrics_out.empty())) {
+  if (!lint.empty() && (!cli.trace_path.empty() || !cli.metrics_path.empty())) {
     std::fprintf(stderr,
                  "--trace-out/--metrics-out do not apply to --lint (static "
                  "analysis, nothing is simulated)\n");
@@ -364,8 +406,8 @@ int main(int argc, char** argv) {
   // Observability session for the simulating modes; installed before the
   // dispatch so sim::run / audit_workload pick it up.
   obs::Session::Options oopt;
-  oopt.metrics = !metrics_out.empty();
-  oopt.trace = !trace_out.empty();
+  oopt.metrics = !cli.metrics_path.empty();
+  oopt.trace = !cli.trace_path.empty();
   std::unique_ptr<obs::Session> session;
   if (oopt.metrics || oopt.trace) {
     session = std::make_unique<obs::Session>(oopt);
@@ -376,7 +418,7 @@ int main(int argc, char** argv) {
   try {
     if (!lint.empty()) code = run_lint(lint);
     else if (!audit.empty()) code = run_audit(audit, samples, audit_seed,
-                                              progress);
+                                              cli);
     else if (!workload.empty())
       code = run_workload(workload, mode, variant, timeline, trace);
     else code = run_assembly(path, mode, timeline, verify, trace);
@@ -390,7 +432,8 @@ int main(int argc, char** argv) {
     const std::string experiment = !audit.empty()     ? "audit"
                                    : !workload.empty() ? "workload"
                                                        : "assembly";
-    if (!sim::write_obs_outputs(*session, experiment, trace_out, metrics_out))
+    if (!sim::write_obs_outputs(*session, experiment, cli.trace_path,
+                                cli.metrics_path))
       return 1;
   }
   return code;

@@ -5,8 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
+#include "sim/job_key.h"
+#include "sim/sweep_codec.h"
 #include "util/check.h"
+#include "util/fingerprint.h"
 #include "workloads/scenarios.h"
 #include "workloads/synthetic.h"
 
@@ -71,14 +75,35 @@ void append_kv_s(std::string& out, const char* key, const std::string& v,
            last ? "" : ",");
 }
 
+// How an emitter maps point positions back to the (full) job list: the
+// identity for a plain sweep, run.indices for a sharded/filtered one.
+// Sharded documents (count > 1) additionally carry the shard meta line
+// and a per-point "_index" annotation, which is exactly the information
+// merge_shard_json strips back out — an unsharded document never carries
+// either, so the pre-orchestration byte format (and every golden pin) is
+// unchanged.
+struct SweepView {
+  const std::vector<usize>* indices = nullptr;  // nullptr = identity
+  ShardSpec shard;
+
+  usize global(usize k) const {
+    return indices == nullptr ? k : (*indices)[k];
+  }
+  bool sharded() const { return shard.count > 1; }
+};
+
 // The metadata header. `threads` is deliberately the constant 0: results
 // are thread-count invariant by construction, and recording the actual
 // worker count would break the byte-identical-across---threads guarantee.
 std::string json_header(const std::string& experiment,
-                        const std::string& workload, const char* modes) {
+                        const std::string& workload, const char* modes,
+                        const SweepView& view = {}) {
   std::string out = "{\n";
   out += "  \"meta\": {\n";
   append_f(out, "    \"schema_version\": %d,\n", kResultSchemaVersion);
+  if (view.sharded())
+    append_f(out, "    \"shard\": \"%zu/%zu\",\n", view.shard.index,
+             view.shard.count);
   append_f(out, "    \"experiment\": \"%s\",\n",
            json_escape(experiment).c_str());
   append_f(out, "    \"workload\": \"%s\",\n", json_escape(workload).c_str());
@@ -87,6 +112,12 @@ std::string json_header(const std::string& experiment,
   out += "  },\n";
   out += "  \"points\": [\n";
   return out;
+}
+
+void begin_point(std::string& out, const SweepView& view, usize k) {
+  out += "    {\n";
+  if (view.sharded())
+    append_f(out, "      \"_index\": %zu,\n", view.global(k));
 }
 
 void json_footer(std::string& out) { out += "  ]\n}\n"; }
@@ -105,84 +136,230 @@ usize resolve_threads(usize requested, usize jobs) {
 
 namespace {
 
-// Every run_*_jobs wrapper labels its jobs the same way.
-template <typename Job>
-auto label_of(const std::vector<Job>& jobs) {
-  return [&jobs](usize i) { return jobs[i].label; };
+/// The orchestrated sweep shared by every job family: shard selection,
+/// journal/cache resolution of each selected job (single-threaded, so the
+/// CacheStats accounting is deterministic), then parallel execution of
+/// whatever could not be resolved, with write-back as each job retires.
+template <typename Job, typename Point, typename MeasureFn, typename EncodeFn,
+          typename DecodeFn>
+SweepRun<Point> run_sweep_impl(const std::vector<Job>& jobs,
+                               const SweepOptions& opt, MeasureFn measure,
+                               EncodeFn encode, DecodeFn decode) {
+  if (opt.shard.count == 0 || opt.shard.index >= opt.shard.count)
+    throw SimError("bad shard " + std::to_string(opt.shard.index) + "/" +
+                   std::to_string(opt.shard.count));
+  SweepRun<Point> run;
+  run.total_jobs = jobs.size();
+  run.shard = opt.shard;
+  for (usize i = opt.shard.index; i < jobs.size(); i += opt.shard.count)
+    run.indices.push_back(i);
+  const usize n = run.indices.size();
+
+  const bool persist = !opt.cache_dir.empty() || !opt.journal_path.empty();
+  if (!persist) {
+    run.points = run_indexed_labeled(
+        n, opt.threads,
+        [&](usize k) { return measure(jobs[run.indices[k]]); },
+        [&](usize k) { return jobs[run.indices[k]].label; });
+    return run;
+  }
+
+  const std::string fingerprint =
+      opt.fingerprint.empty() ? code_fingerprint() : opt.fingerprint;
+  std::unique_ptr<SweepCache> cache;
+  if (!opt.cache_dir.empty())
+    cache = std::make_unique<SweepCache>(opt.cache_dir, fingerprint);
+  std::unique_ptr<SweepJournal> journal;
+  if (!opt.journal_path.empty())
+    journal = std::make_unique<SweepJournal>(opt.journal_path);
+
+  // Planning pass: resolve each selected job from the journal first (the
+  // resume path), then the cache. Every unresolved job is counted exactly
+  // once as miss, stale, or corrupt.
+  run.points.resize(n);
+  std::vector<std::string> keys(n);
+  std::vector<usize> pending;  // positions into run.indices / run.points
+  for (usize k = 0; k < n; ++k) {
+    keys[k] = job_cache_key(jobs[run.indices[k]], fingerprint);
+    bool counted = false;
+    if (journal != nullptr) {
+      if (const std::string* blob = journal->find(keys[k])) {
+        try {
+          run.points[k] = decode(*blob);
+          ++run.cache.journal_hits;
+          continue;
+        } catch (const SimError&) {
+          ++run.cache.corrupt;
+          counted = true;
+        }
+      }
+    }
+    if (cache != nullptr) {
+      const SweepCache::Lookup hit = cache->lookup(keys[k]);
+      if (hit.status == SweepCache::Status::kHit) {
+        try {
+          Point p = decode(hit.blob);
+          ++run.cache.hits;
+          // Mirror the hit into the journal so a later kill + resume
+          // replays it even if the cache has been pruned meanwhile.
+          if (journal != nullptr && !journal->contains(keys[k]))
+            journal->append(keys[k], hit.blob);
+          run.points[k] = std::move(p);
+          continue;
+        } catch (const SimError&) {
+          if (!counted) ++run.cache.corrupt;
+          counted = true;
+        }
+      } else if (hit.status == SweepCache::Status::kStale) {
+        if (!counted) ++run.cache.stale;
+        counted = true;
+      }
+    }
+    if (!counted) ++run.cache.misses;
+    pending.push_back(k);
+  }
+  if (cache != nullptr) run.cache.stores = pending.size();
+
+  auto executed = run_indexed_labeled(
+      pending.size(), opt.threads,
+      [&](usize j) {
+        const usize k = pending[j];
+        Point p = measure(jobs[run.indices[k]]);
+        const std::string blob = encode(p);
+        if (cache != nullptr) cache->store(keys[k], blob);
+        if (journal != nullptr) journal->append(keys[k], blob);
+        return p;
+      },
+      [&](usize j) { return jobs[run.indices[pending[j]]].label; });
+  for (usize j = 0; j < pending.size(); ++j)
+    run.points[pending[j]] = std::move(executed[j]);
+
+  std::fprintf(stderr,
+               "sweep: %zu job(s): %" PRIu64 " cache hit(s), %" PRIu64
+               " journal hit(s), %" PRIu64 " stale, %" PRIu64
+               " corrupt, %zu executed\n",
+               n, run.cache.hits, run.cache.journal_hits, run.cache.stale,
+               run.cache.corrupt, pending.size());
+  obs::Session* const os = obs::session();
+  if (os != nullptr && os->metrics_enabled()) {
+    auto& m = os->metrics().local();
+    m.add("sweep.cache_hits", run.cache.hits);
+    m.add("sweep.cache_misses", run.cache.misses);
+    m.add("sweep.cache_stale", run.cache.stale);
+    m.add("sweep.cache_corrupt", run.cache.corrupt);
+    m.add("sweep.cache_stores", run.cache.stores);
+    m.add("sweep.journal_hits", run.cache.journal_hits);
+    if (journal != nullptr) m.add("sweep.journal_replayed", journal->replayed());
+  }
+  return run;
+}
+
+}  // namespace
+
+SweepRun<MicrobenchPoint> run_microbench_sweep(
+    const std::vector<MicrobenchJob>& jobs, const SweepOptions& opt) {
+  return run_sweep_impl<MicrobenchJob, MicrobenchPoint>(
+      jobs, opt,
+      [](const MicrobenchJob& j) {
+        return measure_microbench(j.kind, j.width, j.opt);
+      },
+      [](const MicrobenchPoint& p) { return encode_point(p); },
+      decode_microbench_point);
+}
+
+SweepRun<DjpegPoint> run_djpeg_sweep(const std::vector<DjpegJob>& jobs,
+                                     const SweepOptions& opt) {
+  return run_sweep_impl<DjpegJob, DjpegPoint>(
+      jobs, opt,
+      [](const DjpegJob& j) {
+        return measure_djpeg(j.format, j.pixels, j.scale, j.image_seed);
+      },
+      [](const DjpegPoint& p) { return encode_point(p); }, decode_djpeg_point);
+}
+
+SweepRun<WorkloadPoint> run_workload_sweep(const std::vector<WorkloadJob>& jobs,
+                                           const SweepOptions& opt) {
+  // Touch the registry before fanning out: its lazy construction is the
+  // only shared mutable state a workload job could race on.
+  workloads::WorkloadRegistry::instance();
+  return run_sweep_impl<WorkloadJob, WorkloadPoint>(
+      jobs, opt,
+      [](const WorkloadJob& j) { return measure_workload(j.spec, j.opt); },
+      [](const WorkloadPoint& p) { return encode_point(p); },
+      decode_workload_point);
+}
+
+SweepRun<LeakagePoint> run_leakage_sweep(const std::vector<LeakageJob>& jobs,
+                                         const SweepOptions& opt) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_sweep_impl<LeakageJob, LeakagePoint>(
+      jobs, opt,
+      [](const LeakageJob& j) { return measure_leakage(j.spec, j.opt); },
+      [](const LeakagePoint& p) { return encode_point(p); },
+      decode_leakage_point);
+}
+
+SweepRun<LintPoint> run_lint_sweep(const std::vector<LintJob>& jobs,
+                                   const SweepOptions& opt) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_sweep_impl<LintJob, LintPoint>(
+      jobs, opt,
+      [](const LintJob& j) { return measure_lint(j.spec, j.opt); },
+      [](const LintPoint& p) { return encode_point(p); }, decode_lint_point);
+}
+
+SweepRun<PerfPoint> run_perf_sweep(const std::vector<PerfJob>& jobs,
+                                   const SweepOptions& opt) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_sweep_impl<PerfJob, PerfPoint>(
+      jobs, opt,
+      [](const PerfJob& j) { return measure_perf(j.spec, j.opt); },
+      [](const PerfPoint& p) { return encode_point(p); }, decode_perf_point);
+}
+
+namespace {
+
+template <typename Point>
+std::vector<Point> sweep_points(SweepRun<Point> run) {
+  return std::move(run.points);
+}
+
+SweepOptions threads_only(usize threads) {
+  SweepOptions opt;
+  opt.threads = threads;
+  return opt;
 }
 
 }  // namespace
 
 std::vector<MicrobenchPoint> run_microbench_jobs(
     const std::vector<MicrobenchJob>& jobs, usize threads) {
-  return run_indexed_labeled(
-      jobs.size(), threads,
-      [&](usize i) {
-        const MicrobenchJob& j = jobs[i];
-        return measure_microbench(j.kind, j.width, j.opt);
-      },
-      label_of(jobs));
+  return sweep_points(run_microbench_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
                                        usize threads) {
-  return run_indexed_labeled(
-      jobs.size(), threads,
-      [&](usize i) {
-        const DjpegJob& j = jobs[i];
-        return measure_djpeg(j.format, j.pixels, j.scale, j.image_seed);
-      },
-      label_of(jobs));
+  return sweep_points(run_djpeg_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<WorkloadPoint> run_workload_jobs(
     const std::vector<WorkloadJob>& jobs, usize threads) {
-  // Touch the registry before fanning out: its lazy construction is the
-  // only shared mutable state a workload job could race on.
-  workloads::WorkloadRegistry::instance();
-  return run_indexed_labeled(
-      jobs.size(), threads,
-      [&](usize i) {
-        const WorkloadJob& j = jobs[i];
-        return measure_workload(j.spec, j.opt);
-      },
-      label_of(jobs));
+  return sweep_points(run_workload_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<LeakagePoint> run_leakage_jobs(
     const std::vector<LeakageJob>& jobs, usize threads) {
-  workloads::WorkloadRegistry::instance();  // pre-touch, as above
-  return run_indexed_labeled(
-      jobs.size(), threads,
-      [&](usize i) {
-        const LeakageJob& j = jobs[i];
-        return measure_leakage(j.spec, j.opt);
-      },
-      label_of(jobs));
+  return sweep_points(run_leakage_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<LintPoint> run_lint_jobs(const std::vector<LintJob>& jobs,
                                      usize threads) {
-  workloads::WorkloadRegistry::instance();  // pre-touch, as above
-  return run_indexed_labeled(
-      jobs.size(), threads,
-      [&](usize i) {
-        const LintJob& j = jobs[i];
-        return measure_lint(j.spec, j.opt);
-      },
-      label_of(jobs));
+  return sweep_points(run_lint_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
                                      usize threads) {
-  workloads::WorkloadRegistry::instance();  // pre-touch, as above
-  return run_indexed_labeled(
-      jobs.size(), threads,
-      [&](usize i) {
-        const PerfJob& j = jobs[i];
-        return measure_perf(j.spec, j.opt);
-      },
-      label_of(jobs));
+  return sweep_points(run_perf_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<MicrobenchJob> microbench_grid(
@@ -304,16 +481,18 @@ const std::vector<usize>& djpeg_sizes() {
   return sizes;
 }
 
-std::string microbench_json(const std::string& experiment,
-                            const std::vector<MicrobenchJob>& jobs,
-                            const std::vector<MicrobenchPoint>& points) {
-  SEMPE_CHECK(jobs.size() == points.size());
+namespace {
+
+std::string microbench_json_impl(const std::string& experiment,
+                                 const std::vector<MicrobenchJob>& jobs,
+                                 const std::vector<MicrobenchPoint>& points,
+                                 const SweepView& view) {
   std::string out =
-      json_header(experiment, "microbench", "legacy,sempe,cte,ideal");
+      json_header(experiment, "microbench", "legacy,sempe,cte,ideal", view);
   for (usize i = 0; i < points.size(); ++i) {
     const MicrobenchPoint& p = points[i];
-    out += "    {\n";
-    append_kv_s(out, "label", jobs[i].label);
+    begin_point(out, view, i);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
     append_kv_s(out, "kind", workloads::kind_name(p.kind));
     append_kv_u64(out, "width", p.width);
     append_kv_u64(out, "baseline_cycles", p.baseline_cycles);
@@ -335,15 +514,15 @@ std::string microbench_json(const std::string& experiment,
   return out;
 }
 
-std::string djpeg_json(const std::string& experiment,
-                       const std::vector<DjpegJob>& jobs,
-                       const std::vector<DjpegPoint>& points) {
-  SEMPE_CHECK(jobs.size() == points.size());
-  std::string out = json_header(experiment, "djpeg", "legacy,sempe");
+std::string djpeg_json_impl(const std::string& experiment,
+                            const std::vector<DjpegJob>& jobs,
+                            const std::vector<DjpegPoint>& points,
+                            const SweepView& view) {
+  std::string out = json_header(experiment, "djpeg", "legacy,sempe", view);
   for (usize i = 0; i < points.size(); ++i) {
     const DjpegPoint& p = points[i];
-    out += "    {\n";
-    append_kv_s(out, "label", jobs[i].label);
+    begin_point(out, view, i);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
     append_kv_s(out, "format", workloads::format_name(p.format));
     append_kv_u64(out, "pixels", p.pixels);
     append_kv_u64(out, "baseline_cycles", p.baseline.cycles);
@@ -363,25 +542,33 @@ std::string djpeg_json(const std::string& experiment,
   return out;
 }
 
-std::string workload_json(const std::string& experiment,
-                          const std::vector<WorkloadJob>& jobs,
-                          const std::vector<WorkloadPoint>& points) {
-  SEMPE_CHECK(jobs.size() == points.size());
-  // Header workload field: the distinct generator names, in job order.
+// Header workload field: the distinct generator names, in job order —
+// always over the FULL job list, so shard documents carry the same meta
+// header as the unsharded run.
+template <typename Job>
+std::string distinct_generators(const std::vector<Job>& jobs) {
   std::vector<std::string> seen;
   std::string generators;
-  for (const WorkloadJob& j : jobs) {
+  for (const Job& j : jobs) {
     const std::string name = j.spec.substr(0, j.spec.find('?'));
     if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
     seen.push_back(name);
     if (!generators.empty()) generators += ',';
     generators += name;
   }
-  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+  return generators;
+}
+
+std::string workload_json_impl(const std::string& experiment,
+                               const std::vector<WorkloadJob>& jobs,
+                               const std::vector<WorkloadPoint>& points,
+                               const SweepView& view) {
+  std::string out = json_header(experiment, distinct_generators(jobs),
+                                "legacy,sempe,cte", view);
   for (usize i = 0; i < points.size(); ++i) {
     const WorkloadPoint& p = points[i];
-    out += "    {\n";
-    append_kv_s(out, "label", jobs[i].label);
+    begin_point(out, view, i);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
     append_kv_s(out, "spec", p.spec);
     append_kv_u64(out, "has_cte", p.has_cte ? 1 : 0);
     append_kv_u64(out, "results_ok", p.results_ok ? 1 : 0);
@@ -407,26 +594,17 @@ std::string workload_json(const std::string& experiment,
   return out;
 }
 
-std::string leakage_json(const std::string& experiment,
-                         const std::vector<LeakageJob>& jobs,
-                         const std::vector<LeakagePoint>& points) {
-  SEMPE_CHECK(jobs.size() == points.size());
-  // Header workload field: the distinct generator names, in job order.
-  std::vector<std::string> seen;
-  std::string generators;
-  for (const LeakageJob& j : jobs) {
-    const std::string name = j.spec.substr(0, j.spec.find('?'));
-    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
-    seen.push_back(name);
-    if (!generators.empty()) generators += ',';
-    generators += name;
-  }
-  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+std::string leakage_json_impl(const std::string& experiment,
+                              const std::vector<LeakageJob>& jobs,
+                              const std::vector<LeakagePoint>& points,
+                              const SweepView& view) {
+  std::string out = json_header(experiment, distinct_generators(jobs),
+                                "legacy,sempe,cte", view);
   for (usize i = 0; i < points.size(); ++i) {
     const LeakagePoint& p = points[i];
     const security::WorkloadAudit& a = p.audit;
-    out += "    {\n";
-    append_kv_s(out, "label", jobs[i].label);
+    begin_point(out, view, i);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
     append_kv_s(out, "spec", a.spec);
     append_kv_u64(out, "secret_width", a.secret_width);
     append_kv_u64(out, "samples", a.masks.size());
@@ -459,20 +637,10 @@ std::string leakage_json(const std::string& experiment,
   return out;
 }
 
-std::string lint_json(const std::string& experiment,
-                      const std::vector<LintJob>& jobs,
-                      const std::vector<LintPoint>& points) {
-  SEMPE_CHECK(jobs.size() == points.size());
-  // Header workload field: the distinct generator names, in job order.
-  std::vector<std::string> seen;
-  std::string generators;
-  for (const LintJob& j : jobs) {
-    const std::string name = j.spec.substr(0, j.spec.find('?'));
-    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
-    seen.push_back(name);
-    if (!generators.empty()) generators += ',';
-    generators += name;
-  }
+std::string lint_json_impl(const std::string& experiment,
+                           const std::vector<LintJob>& jobs,
+                           const std::vector<LintPoint>& points,
+                           const SweepView& view) {
   // Findings serialize compactly as "0x<pc>:<kind>" CSV — the PCs are the
   // pinned part; details stay in the human report.
   const auto findings_csv = [](const security::LintResult& r) {
@@ -483,11 +651,12 @@ std::string lint_json(const std::string& experiment,
     }
     return csv;
   };
-  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+  std::string out = json_header(experiment, distinct_generators(jobs),
+                                "legacy,sempe,cte", view);
   for (usize i = 0; i < points.size(); ++i) {
     const LintPoint& p = points[i];
-    out += "    {\n";
-    append_kv_s(out, "label", jobs[i].label);
+    begin_point(out, view, i);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
     append_kv_s(out, "spec", p.lint.spec);
     append_kv_u64(out, "secret_width", p.lint.secret_width);
     append_kv_u64(out, "has_cte", p.lint.has_cte ? 1 : 0);
@@ -516,27 +685,18 @@ std::string lint_json(const std::string& experiment,
   return out;
 }
 
-std::string perf_json(const std::string& experiment,
-                      const std::vector<PerfJob>& jobs,
-                      const std::vector<PerfPoint>& points) {
-  SEMPE_CHECK(jobs.size() == points.size());
-  // Header workload field: the distinct generator names, in job order.
-  std::vector<std::string> seen;
-  std::string generators;
-  for (const PerfJob& j : jobs) {
-    const std::string name = j.spec.substr(0, j.spec.find('?'));
-    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
-    seen.push_back(name);
-    if (!generators.empty()) generators += ',';
-    generators += name;
-  }
-  std::string out = json_header(experiment, generators, "legacy,sempe,cte");
+std::string perf_json_impl(const std::string& experiment,
+                           const std::vector<PerfJob>& jobs,
+                           const std::vector<PerfPoint>& points,
+                           const SweepView& view) {
+  std::string out = json_header(experiment, distinct_generators(jobs),
+                                "legacy,sempe,cte", view);
   for (usize i = 0; i < points.size(); ++i) {
     const PerfPoint& pp = points[i];
     const WorkloadPoint& p = pp.point;
-    out += "    {\n";
+    begin_point(out, view, i);
     // Deterministic fields first (byte-identical across --threads/hosts)...
-    append_kv_s(out, "label", jobs[i].label);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
     append_kv_s(out, "spec", p.spec);
     append_kv_u64(out, "results_ok", p.results_ok ? 1 : 0);
     append_kv_u64(out, "baseline_cycles", p.baseline_cycles);
@@ -555,6 +715,103 @@ std::string perf_json(const std::string& experiment,
   }
   json_footer(out);
   return out;
+}
+
+// The SweepRun overloads feed the impl the index map; the plain-vector
+// overloads are the identity view (the pre-orchestration byte format).
+template <typename Point>
+SweepView sweep_view(const std::vector<Point>& points,
+                     const SweepRun<Point>& run, usize jobs) {
+  SEMPE_CHECK(run.points.size() == run.indices.size());
+  SEMPE_CHECK(run.total_jobs == jobs);
+  (void)points;
+  return SweepView{&run.indices, run.shard};
+}
+
+}  // namespace
+
+std::string microbench_json(const std::string& experiment,
+                            const std::vector<MicrobenchJob>& jobs,
+                            const std::vector<MicrobenchPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return microbench_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string microbench_json(const std::string& experiment,
+                            const std::vector<MicrobenchJob>& jobs,
+                            const SweepRun<MicrobenchPoint>& run) {
+  return microbench_json_impl(experiment, jobs, run.points,
+                              sweep_view(run.points, run, jobs.size()));
+}
+
+std::string djpeg_json(const std::string& experiment,
+                       const std::vector<DjpegJob>& jobs,
+                       const std::vector<DjpegPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return djpeg_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string djpeg_json(const std::string& experiment,
+                       const std::vector<DjpegJob>& jobs,
+                       const SweepRun<DjpegPoint>& run) {
+  return djpeg_json_impl(experiment, jobs, run.points,
+                         sweep_view(run.points, run, jobs.size()));
+}
+
+std::string workload_json(const std::string& experiment,
+                          const std::vector<WorkloadJob>& jobs,
+                          const std::vector<WorkloadPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return workload_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string workload_json(const std::string& experiment,
+                          const std::vector<WorkloadJob>& jobs,
+                          const SweepRun<WorkloadPoint>& run) {
+  return workload_json_impl(experiment, jobs, run.points,
+                            sweep_view(run.points, run, jobs.size()));
+}
+
+std::string leakage_json(const std::string& experiment,
+                         const std::vector<LeakageJob>& jobs,
+                         const std::vector<LeakagePoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return leakage_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string leakage_json(const std::string& experiment,
+                         const std::vector<LeakageJob>& jobs,
+                         const SweepRun<LeakagePoint>& run) {
+  return leakage_json_impl(experiment, jobs, run.points,
+                           sweep_view(run.points, run, jobs.size()));
+}
+
+std::string lint_json(const std::string& experiment,
+                      const std::vector<LintJob>& jobs,
+                      const std::vector<LintPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return lint_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string lint_json(const std::string& experiment,
+                      const std::vector<LintJob>& jobs,
+                      const SweepRun<LintPoint>& run) {
+  return lint_json_impl(experiment, jobs, run.points,
+                        sweep_view(run.points, run, jobs.size()));
+}
+
+std::string perf_json(const std::string& experiment,
+                      const std::vector<PerfJob>& jobs,
+                      const std::vector<PerfPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return perf_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string perf_json(const std::string& experiment,
+                      const std::vector<PerfJob>& jobs,
+                      const SweepRun<PerfPoint>& run) {
+  return perf_json_impl(experiment, jobs, run.points,
+                        sweep_view(run.points, run, jobs.size()));
 }
 
 std::string strip_perf_timing(const std::string& json) {
@@ -609,6 +866,48 @@ BatchCli parse_batch_cli(int& argc, char** argv) {
       }
     } else if (!std::strcmp(a, "--progress")) {
       cli.progress = true;
+    } else if (!std::strncmp(a, "--shard=", 8)) {
+      char* end = nullptr;
+      const unsigned long long idx = std::strtoull(a + 8, &end, 10);
+      bool good = end != a + 8 && *end == '/';
+      unsigned long long count = 0;
+      if (good) {
+        const char* p = end + 1;
+        count = std::strtoull(p, &end, 10);
+        good = end != p && *end == '\0' && count >= 1 && idx < count;
+      }
+      if (!good) {
+        cli.ok = false;
+        cli.error = a;
+      } else {
+        cli.shard_index = static_cast<usize>(idx);
+        cli.shard_count = static_cast<usize>(count);
+      }
+    } else if (!std::strncmp(a, "--cache-dir=", 12)) {
+      cli.cache_dir = a + 12;
+      if (cli.cache_dir.empty()) {
+        cli.ok = false;
+        cli.error = a;
+      }
+    } else if (!std::strncmp(a, "--journal=", 10)) {
+      cli.journal_path = a + 10;
+      if (cli.journal_path.empty()) {
+        cli.ok = false;
+        cli.error = a;
+      }
+    } else if (!std::strncmp(a, "--jobs=", 7)) {
+      cli.jobs_regex = a + 7;
+      if (cli.jobs_regex.empty()) {
+        cli.ok = false;
+        cli.error = a;
+      } else {
+        try {
+          const std::regex probe(cli.jobs_regex);
+        } catch (const std::regex_error&) {
+          cli.ok = false;
+          cli.error = a;
+        }
+      }
     } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
       cli.help = true;
     } else {
@@ -633,6 +932,16 @@ bool batch_cli_should_exit(const BatchCli& cli, int argc, char** argv,
   print_batch_usage(argv[0], what);
   *exit_code = (!cli.ok || argc > 1) ? 1 : 0;
   return true;
+}
+
+SweepOptions sweep_options(const BatchCli& cli) {
+  SweepOptions opt;
+  opt.threads = cli.threads;
+  opt.shard.index = cli.shard_index;
+  opt.shard.count = cli.shard_count;
+  opt.cache_dir = cli.cache_dir;
+  opt.journal_path = cli.journal_path;
+  return opt;
 }
 
 std::FILE* report_stream(const BatchCli& cli) {
@@ -717,6 +1026,8 @@ void print_batch_usage(const char* argv0, const char* what) {
                "usage: %s [--threads=N] [--json[=FILE]]\n"
                "          [--trace-out=FILE] [--metrics-out=FILE] "
                "[--progress]\n"
+               "          [--jobs=REGEX] [--shard=i/N] [--cache-dir=DIR] "
+               "[--journal=FILE]\n"
                "  --threads=N      worker threads for the experiment sweep\n"
                "                   (default: all hardware threads)\n"
                "  --json[=F]       emit deterministic machine-readable\n"
@@ -727,6 +1038,15 @@ void print_batch_usage(const char* argv0, const char* what) {
                "                   (counters, gauges, histograms, timers)\n"
                "  --progress       stderr progress meter (done/total, ETA,\n"
                "                   worker utilization)\n"
+               "  --jobs=REGEX     run only jobs whose label matches REGEX\n"
+               "  --shard=i/N      run shard i of N (merge the N --json\n"
+               "                   docs back together with sempe_merge)\n"
+               "  --cache-dir=D    reuse results cached under D; store\n"
+               "                   fresh ones (content-addressed, safe\n"
+               "                   across concurrent sweeps)\n"
+               "  --journal=F      append each result to F as it retires;\n"
+               "                   rerunning with the same F resumes a\n"
+               "                   killed sweep\n"
                "env: SEMPE_BENCH_ITERS, SEMPE_DJPEG_SCALE scale the "
                "workloads\n",
                argv0, what, argv0);

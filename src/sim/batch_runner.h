@@ -16,11 +16,22 @@
 //   --trace-out=F    Chrome trace-event timeline of the sweep (obs/)
 //   --metrics-out=F  end-of-run structured metric report (obs/)
 //   --progress       stderr progress meter (jobs done/total, ETA)
+//   --jobs=REGEX     keep only jobs whose label matches REGEX
+//   --shard=i/N      run shard i of a deterministic N-way partition
+//   --cache-dir=D    content-addressed result cache (sim/sweep_cache.h)
+//   --journal=F      append-only result journal; rerun to resume a
+//                    killed sweep
 //
 // The observability flags feed the src/obs/ session the mains install via
 // make_obs_session(); none of them perturb the deterministic --json
 // document (progress and the human report go to stderr, metrics and
 // traces to their own files).
+//
+// The orchestration invariant: the --json document is a pure function of
+// the job list. Thread count, shard assignment (after sempe_merge), a
+// warm vs cold cache, and a resumed vs fresh sweep all produce
+// byte-identical output — every one of those knobs only changes HOW the
+// points get computed, never what they contain.
 #pragma once
 
 #include <algorithm>
@@ -29,6 +40,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <regex>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -37,6 +49,7 @@
 
 #include "obs/report.h"
 #include "sim/experiment.h"
+#include "sim/sweep_cache.h"
 #include "util/clock.h"
 
 namespace sempe::sim {
@@ -102,32 +115,46 @@ auto run_indexed_labeled(usize n, usize threads, Fn&& fn, LabelFn&& label_of)
   if (os->progress() != nullptr)
     os->progress()->start(n, resolve_threads(threads, n));
   const u64 sweep_epoch = mono_ns();
-  const auto job_done = [os](const std::string& label, u64 begin_ns) {
+  const auto job_done = [os](const std::string& label, u64 begin_ns,
+                             bool failed) {
     const u64 ns = mono_ns() - begin_ns;
     if (os->trace() != nullptr) os->trace()->end(label);
     os->timing().local().hist("job.execute_ns").record(ns);
-    if (os->metrics_enabled()) os->metrics().local().add("jobs.completed");
+    if (os->metrics_enabled())
+      os->metrics().local().add(failed ? "jobs.failed" : "jobs.completed");
     if (os->progress() != nullptr) os->progress()->tick(ns);
   };
-  auto results = run_indexed(n, threads, [&](usize i) {
-    const u64 begin_ns = mono_ns();
-    const std::string label = label_of(i);
-    if (os->trace() != nullptr)
-      os->trace()->begin(label, "queue_wait_us",
-                         (begin_ns - sweep_epoch) / 1000);
-    try {
-      auto r = fn(i);
-      job_done(label, begin_ns);
-      return r;
-    } catch (...) {
-      job_done(label, begin_ns);  // keep B/E spans balanced
-      throw;
-    }
-  });
-  os->timing().local().add("sweep.wall_ns", mono_ns() - sweep_epoch);
-  os->timing().local().add("sweep.count");
-  if (os->progress() != nullptr) os->progress()->finish();
-  return results;
+  const auto finish_sweep = [os, sweep_epoch] {
+    os->timing().local().add("sweep.wall_ns", mono_ns() - sweep_epoch);
+    os->timing().local().add("sweep.count");
+    if (os->progress() != nullptr) os->progress()->finish();
+  };
+  try {
+    auto results = run_indexed(n, threads, [&](usize i) {
+      const u64 begin_ns = mono_ns();
+      const std::string label = label_of(i);
+      if (os->trace() != nullptr)
+        os->trace()->begin(label, "queue_wait_us",
+                           (begin_ns - sweep_epoch) / 1000);
+      try {
+        auto r = fn(i);
+        job_done(label, begin_ns, /*failed=*/false);
+        return r;
+      } catch (...) {
+        // Keep B/E spans balanced and the failure visible in the metrics.
+        job_done(label, begin_ns, /*failed=*/true);
+        throw;
+      }
+    });
+    finish_sweep();
+    return results;
+  } catch (...) {
+    // The rethrow path still records the sweep and terminates the
+    // progress meter's \r line — otherwise the escaping exception's
+    // diagnostic would land mid-line on a half-drawn meter.
+    finish_sweep();
+    throw;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -180,9 +207,71 @@ struct PerfJob {
   MicrobenchOptions opt{};
 };
 
+// ---------------------------------------------------------------------------
+// Sweep orchestration: shard selection + cache/journal resolution + the
+// parallel execution of whatever is left.
+
+/// Deterministic shard assignment: job i belongs to shard `index` of
+/// `count` iff i % count == index. Round-robin (not contiguous blocks) so
+/// every shard samples the whole grid — jobs at nearby indices tend to
+/// share a generator and a cost profile.
+struct ShardSpec {
+  usize index = 0;
+  usize count = 1;
+};
+
+/// Everything that controls HOW a sweep executes. None of these fields
+/// may change the result content (the byte-identity contract).
+struct SweepOptions {
+  usize threads = 0;         // 0 = all hardware threads
+  ShardSpec shard;
+  std::string cache_dir;     // content-addressed cache root ("" = off)
+  std::string journal_path;  // append-only result journal ("" = off)
+  std::string fingerprint;   // "" = sempe::code_fingerprint()
+};
+
+/// The outcome of one orchestrated sweep. `points[k]` is the result of
+/// job `indices[k]` of the original job list; with no shard and no
+/// --jobs filter upstream, indices is the identity and points is simply
+/// job-ordered.
+template <typename Point>
+struct SweepRun {
+  std::vector<Point> points;
+  std::vector<usize> indices;  // global job index per point, ascending
+  usize total_jobs = 0;        // size of the full (pre-shard) job list
+  ShardSpec shard;
+  CacheStats cache;            // how each selected job was resolved
+};
+
+SweepRun<MicrobenchPoint> run_microbench_sweep(
+    const std::vector<MicrobenchJob>& jobs, const SweepOptions& opt);
+SweepRun<DjpegPoint> run_djpeg_sweep(const std::vector<DjpegJob>& jobs,
+                                     const SweepOptions& opt);
+SweepRun<WorkloadPoint> run_workload_sweep(
+    const std::vector<WorkloadJob>& jobs, const SweepOptions& opt);
+SweepRun<LeakagePoint> run_leakage_sweep(const std::vector<LeakageJob>& jobs,
+                                         const SweepOptions& opt);
+SweepRun<LintPoint> run_lint_sweep(const std::vector<LintJob>& jobs,
+                                   const SweepOptions& opt);
+SweepRun<PerfPoint> run_perf_sweep(const std::vector<PerfJob>& jobs,
+                                   const SweepOptions& opt);
+
+/// Map a sweep's points back onto the full job grid: result[g] is the
+/// point of job g, or nullptr when job g was not part of this run
+/// (owned by another shard). For index-structured human reports
+/// (bench_ablation, bench_fig10b) that address points by grid position.
+template <typename Point>
+std::vector<const Point*> points_by_job(const SweepRun<Point>& run) {
+  std::vector<const Point*> by_job(run.total_jobs, nullptr);
+  for (usize k = 0; k < run.indices.size(); ++k)
+    by_job[run.indices[k]] = &run.points[k];
+  return by_job;
+}
+
 /// Run every job through measure_microbench / measure_djpeg /
 /// measure_workload / measure_leakage on `threads` workers; results come
-/// back in job order.
+/// back in job order. Legacy entry points: equivalent to run_*_sweep with
+/// only `threads` set.
 std::vector<MicrobenchPoint> run_microbench_jobs(
     const std::vector<MicrobenchJob>& jobs, usize threads);
 std::vector<DjpegPoint> run_djpeg_jobs(const std::vector<DjpegJob>& jobs,
@@ -265,6 +354,31 @@ std::string perf_json(const std::string& experiment,
 /// fields for byte comparison across --threads values or hosts.
 std::string strip_perf_timing(const std::string& json);
 
+// SweepRun-aware emitters. `jobs` is always the FULL job list (shard
+// documents carry the same meta header as the unsharded run; labels
+// resolve through run.indices). An unsharded run serializes exactly like
+// the plain-vector overloads; a sharded one (shard.count > 1) adds a
+// "shard" meta line and a per-point "_index" so sempe_merge can
+// reassemble the unsharded document byte-for-byte.
+std::string microbench_json(const std::string& experiment,
+                            const std::vector<MicrobenchJob>& jobs,
+                            const SweepRun<MicrobenchPoint>& run);
+std::string djpeg_json(const std::string& experiment,
+                       const std::vector<DjpegJob>& jobs,
+                       const SweepRun<DjpegPoint>& run);
+std::string workload_json(const std::string& experiment,
+                          const std::vector<WorkloadJob>& jobs,
+                          const SweepRun<WorkloadPoint>& run);
+std::string leakage_json(const std::string& experiment,
+                         const std::vector<LeakageJob>& jobs,
+                         const SweepRun<LeakagePoint>& run);
+std::string lint_json(const std::string& experiment,
+                      const std::vector<LintJob>& jobs,
+                      const SweepRun<LintPoint>& run);
+std::string perf_json(const std::string& experiment,
+                      const std::vector<PerfJob>& jobs,
+                      const SweepRun<PerfPoint>& run);
+
 // ---------------------------------------------------------------------------
 // Shared bench CLI.
 
@@ -275,6 +389,11 @@ struct BatchCli {
   std::string trace_path;   // --trace-out=F (empty: tracing off)
   std::string metrics_path; // --metrics-out=F (empty: metrics off)
   bool progress = false;    // --progress: stderr sweep progress meter
+  usize shard_index = 0;    // --shard=i/N
+  usize shard_count = 1;
+  std::string cache_dir;    // --cache-dir=D (empty: cache off)
+  std::string journal_path; // --journal=F (empty: journal off)
+  std::string jobs_regex;   // --jobs=REGEX (empty: keep every job)
   bool help = false;
   bool ok = true;           // false: unrecognized argument
   std::string error;        // the offending argument
@@ -290,6 +409,24 @@ BatchCli parse_batch_cli(int& argc, char** argv);
 /// return immediately.
 bool batch_cli_should_exit(const BatchCli& cli, int argc, char** argv,
                            const char* what, int* exit_code);
+
+/// The SweepOptions the CLI flags ask for (threads, shard, cache,
+/// journal; fingerprint left at the build default).
+SweepOptions sweep_options(const BatchCli& cli);
+
+/// Apply --jobs=REGEX: drop every job whose label does not match
+/// (std::regex_search, ECMAScript grammar). An empty surviving list is
+/// legal — the sweep runs zero jobs and the JSON has an empty points
+/// array. parse_batch_cli has already validated the pattern.
+template <typename Job>
+void apply_job_filter(std::vector<Job>& jobs, const BatchCli& cli) {
+  if (cli.jobs_regex.empty()) return;
+  const std::regex re(cli.jobs_regex);
+  jobs.erase(std::remove_if(
+                 jobs.begin(), jobs.end(),
+                 [&](const Job& j) { return !std::regex_search(j.label, re); }),
+             jobs.end());
+}
 
 /// Stream for the human-readable report: stderr when the JSON goes to
 /// stdout (bare --json), so `bench --json | jq .` stays parseable; stdout

@@ -1,0 +1,168 @@
+#include "sim/job_key.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/sweep_codec.h"
+#include "util/check.h"
+#include "workloads/djpeg.h"
+#include "workloads/kernels.h"
+#include "workloads/registry.h"
+
+namespace sempe::sim {
+
+u64 fnv1a64(std::string_view text) {
+  u64 h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string key_hex(u64 key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::string canonical_spec_key(const std::string& spec_text) {
+  try {
+    workloads::WorkloadSpec spec = workloads::WorkloadSpec::parse(spec_text);
+    std::stable_sort(
+        spec.params.begin(), spec.params.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    return spec.to_string();
+  } catch (const SimError&) {
+    // Unparseable specs throw again at measurement time; keying them by
+    // raw text keeps key computation total.
+    return spec_text;
+  }
+}
+
+std::string JobIdentity::canonical_text() const {
+  std::string out = "family=" + family;
+  out += "\nspec=" + spec;
+  out += "\nmachine=" + machine;
+  out += "\nmodes=" + modes;
+  out += "\nschema=" + std::to_string(schema_version);
+  out += "\nfingerprint=" + fingerprint;
+  out += "\n";
+  return out;
+}
+
+std::string JobIdentity::key() const { return key_hex(fnv1a64(canonical_text())); }
+
+namespace {
+
+void append_u64(std::string& out, const char* key, u64 v) {
+  if (!out.empty()) out += ' ';
+  out += key;
+  out += '=';
+  out += std::to_string(v);
+}
+
+/// The MicrobenchOptions fields measure_workload / measure_perf read —
+/// the machine knobs. iterations/size/input_seed are spec-controlled for
+/// registry workloads and must NOT perturb their keys.
+std::string machine_knobs_text(const MicrobenchOptions& opt) {
+  std::string out;
+  append_u64(out, "snapshot_model", static_cast<u64>(opt.snapshot_model));
+  append_u64(out, "spm_bytes_per_cycle", opt.spm_bytes_per_cycle);
+  append_u64(out, "enable_prefetchers", opt.enable_prefetchers ? 1 : 0);
+  append_u64(out, "extra_front_end_depth", opt.extra_front_end_depth);
+  append_u64(out, "rename_width_override", opt.rename_width_override);
+  return out;
+}
+
+/// Full MicrobenchOptions text — measure_microbench reads every field.
+std::string machine_full_text(const MicrobenchOptions& opt) {
+  std::string out;
+  append_u64(out, "iterations", opt.iterations);
+  append_u64(out, "size", opt.size);
+  append_u64(out, "input_seed", opt.input_seed);
+  out += ' ';
+  out += machine_knobs_text(opt);
+  return out;
+}
+
+/// The AuditOptions fields that shape the audit result. `progress` only
+/// steers stderr and is deliberately excluded.
+std::string audit_text(const security::AuditOptions& opt) {
+  std::string out;
+  append_u64(out, "samples", opt.samples);
+  append_u64(out, "seed", opt.seed);
+  append_u64(out, "include_cte", opt.include_cte ? 1 : 0);
+  return out;
+}
+
+}  // namespace
+
+JobIdentity job_identity(const MicrobenchJob& job,
+                         const std::string& fingerprint) {
+  JobIdentity id;
+  id.family = kMicrobenchFamily;
+  id.spec = std::string("kind=") + workloads::kind_name(job.kind) +
+            "&width=" + std::to_string(job.width);
+  id.machine = machine_full_text(job.opt);
+  id.modes = "legacy,sempe,cte,ideal";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
+JobIdentity job_identity(const DjpegJob& job, const std::string& fingerprint) {
+  JobIdentity id;
+  id.family = kDjpegFamily;
+  id.spec = std::string("format=") + workloads::format_name(job.format) +
+            "&pixels=" + std::to_string(job.pixels) +
+            "&scale=" + std::to_string(job.scale) +
+            "&image_seed=" + std::to_string(job.image_seed);
+  id.modes = "legacy,sempe";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
+JobIdentity job_identity(const WorkloadJob& job,
+                         const std::string& fingerprint) {
+  JobIdentity id;
+  id.family = kWorkloadFamily;
+  id.spec = canonical_spec_key(job.spec);
+  id.machine = machine_knobs_text(job.opt);
+  id.modes = "legacy,sempe,cte";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
+JobIdentity job_identity(const LeakageJob& job,
+                         const std::string& fingerprint) {
+  JobIdentity id;
+  id.family = kLeakageFamily;
+  id.spec = canonical_spec_key(job.spec);
+  id.machine = audit_text(job.opt);
+  id.modes = "legacy,sempe,cte";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
+JobIdentity job_identity(const LintJob& job, const std::string& fingerprint) {
+  JobIdentity id;
+  id.family = kLintFamily;
+  id.spec = canonical_spec_key(job.spec);
+  id.machine = audit_text(job.opt);
+  id.modes = "legacy,sempe,cte";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
+JobIdentity job_identity(const PerfJob& job, const std::string& fingerprint) {
+  JobIdentity id;
+  id.family = kPerfFamily;
+  id.spec = canonical_spec_key(job.spec);
+  id.machine = machine_knobs_text(job.opt);
+  id.modes = "legacy,sempe,cte";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,25 @@
+// Shard-document merge: the third layer of the sweep orchestration
+// subsystem (see sim/batch_runner.h).
+//
+// A bench run with --shard=i/N --json produces a document identical to
+// the unsharded one except for (a) a `"shard": "i/N"` meta line, (b) a
+// `"_index"` annotation opening each point (its index in the full job
+// list), and (c) the missing points. merge_shard_json() takes all N
+// shard documents, validates that they form a complete consistent set,
+// strips the annotations, and reassembles the points in global index
+// order — producing output byte-identical to what the unsharded run
+// would have emitted. The sempe_merge tool is a thin CLI over this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sempe::sim {
+
+/// Merge N shard JSON documents (any order) into the unsharded document.
+/// Throws SimError when the inputs are not a complete consistent shard
+/// set: differing meta headers, missing/duplicate shards, an index
+/// assigned to the wrong shard, or a gap in the global index range.
+std::string merge_shard_json(const std::vector<std::string>& shards);
+
+}  // namespace sempe::sim

@@ -1,0 +1,21 @@
+#include "util/fingerprint.h"
+
+// The stamp header is generated into the build tree by
+// cmake/fingerprint.cmake (see src/util/CMakeLists.txt); fall back to a
+// sentinel when building without the stamp step so the library still
+// links (the cache then simply keys everything under "unstamped").
+#if defined(__has_include)
+#if __has_include("fingerprint_stamp.h")
+#include "fingerprint_stamp.h"  // NOLINT(misc-include-cleaner)
+#endif
+#endif
+
+#ifndef SEMPE_CODE_FINGERPRINT
+#define SEMPE_CODE_FINGERPRINT "unstamped"
+#endif
+
+namespace sempe {
+
+const char* code_fingerprint() { return SEMPE_CODE_FINGERPRINT; }
+
+}  // namespace sempe

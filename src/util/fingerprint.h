@@ -1,0 +1,19 @@
+// Build-time code fingerprint: a 16-hex-digit content hash of every
+// first-party source file, stamped into the binary by the build system
+// (cmake/fingerprint.cmake regenerates the stamp header on each build;
+// the header only changes when a source file actually changed).
+//
+// The fingerprint is one component of the sweep-cache content address
+// (sim/job_key.h): two binaries built from different source trees can
+// never exchange cached results, because every job key — and every cache
+// entry header — embeds the fingerprint of the code that produced it.
+#pragma once
+
+namespace sempe {
+
+/// The fingerprint of the source tree this binary was built from, as a
+/// 16-hex-digit string ("unstamped" in builds that skip the stamp step,
+/// e.g. non-CMake test harnesses).
+const char* code_fingerprint();
+
+}  // namespace sempe

@@ -1,0 +1,506 @@
+// The sweep orchestration subsystem: content-address job keys
+// (sim/job_key.h), the on-disk cache and the resume journal
+// (sim/sweep_cache.h), the point codec (sim/sweep_codec.h), shard
+// partitioning and sempe_merge's document merge (sim/sweep_merge.h), and
+// the byte-identity contract that ties them together — a sweep's --json
+// output must not depend on thread count, shard split, cache temperature,
+// or whether the run resumed from a killed journal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+#include "sim/batch_runner.h"
+#include "sim/job_key.h"
+#include "sim/sweep_cache.h"
+#include "sim/sweep_codec.h"
+#include "sim/sweep_merge.h"
+#include "util/check.h"
+
+namespace sempe {
+namespace {
+
+namespace fs = std::filesystem;
+
+using sim::BatchCli;
+using sim::JobIdentity;
+using sim::MicrobenchJob;
+using sim::MicrobenchOptions;
+using sim::SweepCache;
+using sim::SweepJournal;
+using sim::SweepOptions;
+using workloads::Kind;
+
+// Fresh directory per test, removed on teardown.
+class TempDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("sempe_sweep_") + info->test_suite_name() + "_" +
+            info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Job identity keys.
+
+TEST(JobKey, PermutedSpecParamsShareOneKey) {
+  EXPECT_EQ(sim::canonical_spec_key("synthetic.cond_branch?width=3&iters=2"),
+            sim::canonical_spec_key("synthetic.cond_branch?iters=2&width=3"));
+  sim::WorkloadJob a;
+  a.label = "a";
+  a.spec = "synthetic.ptr_chase?size=4096&stride=64";
+  sim::WorkloadJob b;
+  b.label = "a completely different label";
+  b.spec = "synthetic.ptr_chase?stride=64&size=4096";
+  EXPECT_EQ(sim::job_cache_key(a, "fp"), sim::job_cache_key(b, "fp"));
+}
+
+TEST(JobKey, LabelIsCosmetic) {
+  MicrobenchJob a;
+  a.label = "one";
+  a.kind = Kind::kOnes;
+  a.width = 2;
+  MicrobenchJob b = a;
+  b.label = "two";
+  EXPECT_EQ(sim::job_cache_key(a, "fp"), sim::job_cache_key(b, "fp"));
+}
+
+TEST(JobKey, EveryIdentityFieldChangesTheKey) {
+  const JobIdentity base{"microbench", "ones?width=2", "spm=64", "legacy,sempe",
+                         1, "fp"};
+  std::vector<JobIdentity> variants(6, base);
+  variants[0].family = "djpeg";
+  variants[1].spec = "ones?width=3";
+  variants[2].machine = "spm=128";
+  variants[3].modes = "legacy,sempe,cte";
+  variants[4].schema_version = 2;
+  variants[5].fingerprint = "other";
+  std::set<std::string> keys = {base.key()};
+  for (const JobIdentity& v : variants) {
+    EXPECT_NE(v.key(), base.key()) << v.canonical_text();
+    keys.insert(v.key());
+  }
+  EXPECT_EQ(keys.size(), 7u);  // all pairwise distinct, too
+}
+
+TEST(JobKey, MachineKnobsAndGridCoordinatesChangeTheKey) {
+  MicrobenchJob base;
+  base.kind = Kind::kOnes;
+  base.width = 2;
+  const std::string k0 = sim::job_cache_key(base, "fp");
+
+  MicrobenchJob v = base;
+  v.kind = Kind::kFibonacci;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+  v = base;
+  v.width = 3;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+  v = base;
+  v.opt.spm_bytes_per_cycle *= 2;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+  v = base;
+  v.opt.enable_prefetchers = !v.opt.enable_prefetchers;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+  v = base;
+  v.opt.iterations += 1;  // microbench results DO depend on iterations
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+  EXPECT_NE(sim::job_cache_key(base, "fp2"), k0);
+}
+
+TEST(JobKey, OptionsTheMeasurementIgnoresAreExcluded) {
+  // measure_workload ignores iterations/size/input_seed (the spec carries
+  // them); AuditOptions::progress only steers stderr.
+  sim::WorkloadJob w;
+  w.spec = "synthetic.cond_branch?width=2";
+  sim::WorkloadJob w2 = w;
+  w2.opt.iterations += 7;
+  w2.opt.size = 12345;
+  w2.opt.input_seed = 99;
+  EXPECT_EQ(sim::job_cache_key(w, "fp"), sim::job_cache_key(w2, "fp"));
+
+  sim::LeakageJob l;
+  l.spec = "synthetic.cond_branch?width=2";
+  sim::LeakageJob l2 = l;
+  l2.opt.progress = !l2.opt.progress;
+  EXPECT_EQ(sim::job_cache_key(l, "fp"), sim::job_cache_key(l2, "fp"));
+  l2 = l;
+  l2.opt.samples += 1;  // sample budget DOES shape the audit
+  EXPECT_NE(sim::job_cache_key(l2, "fp"), sim::job_cache_key(l, "fp"));
+}
+
+TEST(JobKey, KeyIsSixteenHexDigits) {
+  MicrobenchJob j;
+  j.kind = Kind::kOnes;
+  j.width = 1;
+  const std::string k = sim::job_cache_key(j, "fp");
+  ASSERT_EQ(k.size(), 16u);
+  for (const char c : k)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << k;
+}
+
+// ---------------------------------------------------------------------------
+// Cache and journal stores.
+
+class SweepStoreTest : public TempDirTest {};
+
+TEST_F(SweepStoreTest, CacheHitMissAndStaleFingerprint) {
+  const std::string key = "00deadbeef001234";
+  {
+    const SweepCache cache(path("cache"), "fp-A");
+    EXPECT_EQ(cache.lookup(key).status, SweepCache::Status::kMiss);
+    EXPECT_TRUE(cache.store(key, "blob contents\nline 2\n"));
+    const auto hit = cache.lookup(key);
+    ASSERT_EQ(hit.status, SweepCache::Status::kHit);
+    EXPECT_EQ(hit.blob, "blob contents\nline 2\n");
+  }
+  // Same entry under a different build fingerprint: stale, not a hit —
+  // a recompile must never serve old results.
+  const SweepCache other(path("cache"), "fp-B");
+  EXPECT_EQ(other.lookup(key).status, SweepCache::Status::kStale);
+}
+
+TEST_F(SweepStoreTest, JournalReplaysItsPrefixAndDetectsTruncation) {
+  const std::string jpath = path("sweep.journal");
+  {
+    SweepJournal j(jpath);
+    EXPECT_EQ(j.replayed(), 0u);
+    j.append("key-one", "first blob\n");
+    j.append("key-two", "second blob\nwith two lines\n");
+  }
+  {
+    SweepJournal j(jpath);
+    EXPECT_EQ(j.replayed(), 2u);
+    EXPECT_FALSE(j.truncated_tail());
+    ASSERT_NE(j.find("key-one"), nullptr);
+    EXPECT_EQ(*j.find("key-one"), "first blob\n");
+    ASSERT_NE(j.find("key-two"), nullptr);
+    EXPECT_EQ(*j.find("key-two"), "second blob\nwith two lines\n");
+    EXPECT_EQ(j.find("key-three"), nullptr);
+  }
+  // Chop a few bytes off the end — the signature of a sweep killed
+  // mid-append. The well-formed prefix survives; the torn record is
+  // dropped and flagged.
+  fs::resize_file(jpath, fs::file_size(jpath) - 3);
+  SweepJournal j(jpath);
+  EXPECT_EQ(j.replayed(), 1u);
+  EXPECT_TRUE(j.truncated_tail());
+  ASSERT_NE(j.find("key-one"), nullptr);
+  EXPECT_EQ(j.find("key-two"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Point codec: decode(encode(p)) must be *exactly* p, because cached
+// points feed the byte-identity contract.
+
+TEST(SweepCodec, MicrobenchRoundTripIsExact) {
+  MicrobenchOptions opt;
+  opt.iterations = 2;
+  const auto pt = sim::measure_microbench(Kind::kFibonacci, 2, opt);
+  const std::string blob = sim::encode_point(pt);
+  const auto back = sim::decode_microbench_point(blob);
+  EXPECT_EQ(sim::encode_point(back), blob);
+  EXPECT_EQ(back.sempe_cycles, pt.sempe_cycles);
+  EXPECT_EQ(back.width, pt.width);
+  EXPECT_EQ(back.kind, pt.kind);
+}
+
+TEST(SweepCodec, LeakageRoundTripPreservesTheFullAudit) {
+  security::AuditOptions opt;
+  opt.samples = 2;
+  const auto pt =
+      sim::measure_leakage("synthetic.cond_branch?width=2&iters=1", opt);
+  const std::string blob = sim::encode_point(pt);
+  const auto back = sim::decode_leakage_point(blob);
+  EXPECT_EQ(sim::encode_point(back), blob);
+  // to_string is what sempe_run --audit prints; a cache hit must print
+  // the same report a fresh audit would.
+  EXPECT_EQ(back.audit.to_string(), pt.audit.to_string());
+}
+
+TEST(SweepCodec, CorruptBlobsThrow) {
+  EXPECT_THROW(sim::decode_microbench_point(""), SimError);
+  EXPECT_THROW(sim::decode_microbench_point("not a point blob\n"), SimError);
+  // A valid header of the wrong family must fail loudly, not mis-decode.
+  MicrobenchOptions opt;
+  opt.iterations = 1;
+  const auto pt = sim::measure_microbench(Kind::kOnes, 1, opt);
+  EXPECT_THROW(sim::decode_djpeg_point(sim::encode_point(pt)), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrated sweeps: cache temperature, resume, shards.
+
+std::vector<MicrobenchJob> small_grid() {
+  MicrobenchOptions opt;
+  opt.iterations = 2;
+  return sim::microbench_grid({Kind::kOnes, Kind::kFibonacci}, {1, 2}, opt);
+}
+
+class SweepOrchestrationTest : public TempDirTest {};
+
+TEST_F(SweepOrchestrationTest, WarmCacheIsByteIdenticalAndCounted) {
+  const auto jobs = small_grid();
+  const std::string plain =
+      sim::microbench_json("orch", jobs, sim::run_microbench_sweep(jobs, {}));
+
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.cache_dir = path("cache");
+  const auto cold = sim::run_microbench_sweep(jobs, opt);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, jobs.size());
+  EXPECT_EQ(cold.cache.stores, jobs.size());
+  EXPECT_EQ(sim::microbench_json("orch", jobs, cold), plain);
+
+  const auto warm = sim::run_microbench_sweep(jobs, opt);
+  EXPECT_EQ(warm.cache.hits, jobs.size());
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_EQ(warm.cache.stores, 0u);
+  EXPECT_EQ(sim::microbench_json("orch", jobs, warm), plain);
+}
+
+TEST_F(SweepOrchestrationTest, StaleFingerprintEntriesAreReExecuted) {
+  const auto jobs = small_grid();
+
+  // The fingerprint is part of the job key, so a rebuild simply misses at
+  // a fresh key — old entries are never even consulted.
+  SweepOptions before;
+  before.cache_dir = path("cache");
+  before.fingerprint = "build-one";
+  (void)sim::run_microbench_sweep(jobs, before);
+  SweepOptions after = before;
+  after.fingerprint = "build-two";
+  const auto rebuilt = sim::run_microbench_sweep(jobs, after);
+  EXPECT_EQ(rebuilt.cache.hits, 0u);
+  EXPECT_EQ(rebuilt.cache.misses, jobs.size());
+  EXPECT_EQ(rebuilt.cache.stores, jobs.size());
+
+  // The header check is the second line of defense: an entry copied in
+  // under a MATCHING key but produced by a different build must be
+  // reported stale and re-executed, never served.
+  const SweepCache imposter(path("cache"), "some-other-build");
+  EXPECT_TRUE(imposter.store(sim::job_cache_key(jobs[0], "build-two"),
+                             "bogus payload\n"));
+  const auto poisoned = sim::run_microbench_sweep(jobs, after);
+  EXPECT_EQ(poisoned.cache.stale, 1u);
+  EXPECT_EQ(poisoned.cache.hits, jobs.size() - 1);
+  // ...and the re-execution repaired the poisoned entry in place.
+  const auto warm = sim::run_microbench_sweep(jobs, after);
+  EXPECT_EQ(warm.cache.hits, jobs.size());
+  EXPECT_EQ(warm.cache.stale, 0u);
+}
+
+TEST_F(SweepOrchestrationTest, ResumeAfterKilledJournalIsByteIdentical) {
+  const auto jobs = small_grid();
+  const std::string fresh =
+      sim::microbench_json("orch", jobs, sim::run_microbench_sweep(jobs, {}));
+
+  SweepOptions opt;
+  opt.journal_path = path("sweep.journal");
+  (void)sim::run_microbench_sweep(jobs, opt);
+
+  // Kill simulation: tear bytes off the journal tail, losing one record.
+  const auto full_size = fs::file_size(opt.journal_path);
+  fs::resize_file(opt.journal_path, full_size - 4);
+
+  const auto resumed = sim::run_microbench_sweep(jobs, opt);
+  EXPECT_EQ(resumed.cache.journal_hits, jobs.size() - 1);
+  EXPECT_EQ(resumed.cache.misses, 1u);
+  EXPECT_EQ(sim::microbench_json("orch", jobs, resumed), fresh);
+
+  // The resumed run re-journaled the lost record: a third run replays
+  // everything and executes nothing.
+  const auto replayed = sim::run_microbench_sweep(jobs, opt);
+  EXPECT_EQ(replayed.cache.journal_hits, jobs.size());
+  EXPECT_EQ(sim::microbench_json("orch", jobs, replayed), fresh);
+}
+
+TEST(SweepShard, PartitionIsExactAndDeterministic) {
+  const auto jobs = small_grid();
+  std::set<usize> seen;
+  for (usize s = 0; s < 3; ++s) {
+    SweepOptions opt;
+    opt.shard = {s, 3};
+    const auto run = sim::run_microbench_sweep(jobs, opt);
+    EXPECT_EQ(run.total_jobs, jobs.size());
+    for (const usize g : run.indices) {
+      EXPECT_EQ(g % 3, s);
+      EXPECT_TRUE(seen.insert(g).second) << "job " << g << " ran twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), jobs.size());
+}
+
+TEST(SweepShard, MergedShardJsonIsByteIdenticalToUnsharded) {
+  const auto jobs = small_grid();
+  const std::string full =
+      sim::microbench_json("orch", jobs, sim::run_microbench_sweep(jobs, {}));
+
+  std::vector<std::string> shard_docs;
+  for (usize s = 0; s < 3; ++s) {
+    SweepOptions opt;
+    opt.shard = {s, 3};
+    shard_docs.push_back(sim::microbench_json(
+        "orch", jobs, sim::run_microbench_sweep(jobs, opt)));
+    // Shard documents are self-describing...
+    EXPECT_NE(shard_docs.back().find("\"shard\": \"" + std::to_string(s) +
+                                     "/3\""),
+              std::string::npos);
+  }
+  // ...and merge back to the exact unsharded bytes, in any input order.
+  EXPECT_EQ(sim::merge_shard_json(shard_docs), full);
+  std::swap(shard_docs[0], shard_docs[2]);
+  EXPECT_EQ(sim::merge_shard_json(shard_docs), full);
+}
+
+TEST(SweepShard, MergeRejectsIncompleteOrMismatchedShardSets) {
+  const auto jobs = small_grid();
+  std::vector<std::string> docs;
+  for (usize s = 0; s < 3; ++s) {
+    SweepOptions opt;
+    opt.shard = {s, 3};
+    docs.push_back(sim::microbench_json("orch", jobs,
+                                        sim::run_microbench_sweep(jobs, opt)));
+  }
+  EXPECT_THROW(sim::merge_shard_json({docs[0], docs[1]}), SimError);
+  EXPECT_THROW(sim::merge_shard_json({docs[0], docs[1], docs[1]}), SimError);
+  EXPECT_THROW(sim::merge_shard_json({}), SimError);
+  // An unsharded document is not a shard of anything.
+  const std::string full =
+      sim::microbench_json("orch", jobs, sim::run_microbench_sweep(jobs, {}));
+  EXPECT_THROW(sim::merge_shard_json({full}), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// CLI surface.
+
+std::vector<char*> make_argv(std::vector<std::string>& store) {
+  std::vector<char*> argv;
+  argv.reserve(store.size());
+  for (std::string& s : store) argv.push_back(s.data());
+  return argv;
+}
+
+BatchCli parse(std::vector<std::string> store) {
+  std::vector<char*> argv = make_argv(store);
+  int argc = static_cast<int>(argv.size());
+  return sim::parse_batch_cli(argc, argv.data());
+}
+
+TEST(BatchCliSweep, ParsesOrchestrationFlags) {
+  const BatchCli cli = parse({"bench", "--shard=1/3", "--cache-dir=/tmp/c",
+                              "--journal=/tmp/j", "--jobs=fib.*W=2"});
+  EXPECT_TRUE(cli.ok);
+  EXPECT_EQ(cli.shard_index, 1u);
+  EXPECT_EQ(cli.shard_count, 3u);
+  EXPECT_EQ(cli.cache_dir, "/tmp/c");
+  EXPECT_EQ(cli.journal_path, "/tmp/j");
+  EXPECT_EQ(cli.jobs_regex, "fib.*W=2");
+  const SweepOptions opt = sim::sweep_options(cli);
+  EXPECT_EQ(opt.shard.index, 1u);
+  EXPECT_EQ(opt.shard.count, 3u);
+  EXPECT_EQ(opt.cache_dir, "/tmp/c");
+  EXPECT_EQ(opt.journal_path, "/tmp/j");
+}
+
+TEST(BatchCliSweep, RejectsMalformedOrchestrationFlags) {
+  EXPECT_FALSE(parse({"bench", "--shard=3/3"}).ok);   // index out of range
+  EXPECT_FALSE(parse({"bench", "--shard=0/0"}).ok);
+  EXPECT_FALSE(parse({"bench", "--shard=banana"}).ok);
+  EXPECT_FALSE(parse({"bench", "--cache-dir="}).ok);
+  EXPECT_FALSE(parse({"bench", "--journal="}).ok);
+  EXPECT_FALSE(parse({"bench", "--jobs=[unclosed"}).ok);  // invalid regex
+}
+
+TEST(BatchCliSweep, JobsRegexFiltersByLabel) {
+  BatchCli cli;
+  cli.jobs_regex = "fibonacci/W=1$";
+  auto jobs = small_grid();
+  const usize before = jobs.size();
+  sim::apply_job_filter(jobs, cli);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_NE(jobs[0].label.find("fibonacci"), std::string::npos);
+  // An empty regex keeps everything.
+  auto all = small_grid();
+  sim::apply_job_filter(all, BatchCli{});
+  EXPECT_EQ(all.size(), before);
+}
+
+TEST(BatchCliSweep, FilteredSweepJsonContainsOnlyMatchingLabels) {
+  BatchCli cli;
+  cli.jobs_regex = "ones";
+  auto jobs = small_grid();
+  sim::apply_job_filter(jobs, cli);
+  const std::string json =
+      sim::microbench_json("orch", jobs, sim::run_microbench_sweep(jobs, {}));
+  EXPECT_NE(json.find("ones"), std::string::npos);
+  EXPECT_EQ(json.find("fibonacci"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The run_indexed_labeled exception path (the satellite fix): a throwing
+// job must record jobs.failed and still rethrow.
+
+TEST(RunIndexedLabeled, FailureIsCountedBeforeTheRethrow) {
+  obs::Session::Options oopt;
+  oopt.metrics = true;
+  obs::Session session(oopt);
+  {
+    const obs::ScopedSession scoped(&session);
+    const auto boom = [](usize i) -> usize {
+      SEMPE_CHECK_MSG(i != 2, "job " << i << " exploded");
+      return i;
+    };
+    const auto label_of = [](usize i) {
+      return "job/" + std::to_string(i);
+    };
+    EXPECT_THROW(sim::run_indexed_labeled(4, 1, boom, label_of), SimError);
+  }
+  const auto merged = session.metrics().merged();
+  const auto& counters = merged.counters();
+  const auto failed = counters.find("jobs.failed");
+  ASSERT_NE(failed, counters.end());
+  EXPECT_EQ(failed->second, 1u);
+  const auto completed = counters.find("jobs.completed");
+  ASSERT_NE(completed, counters.end());
+  EXPECT_EQ(completed->second, 2u);  // jobs 0 and 1 retired before the throw
+}
+
+TEST_F(SweepOrchestrationTest, SweepExportsCacheMetrics) {
+  const auto jobs = small_grid();
+  SweepOptions opt;
+  opt.cache_dir = path("cache");
+  (void)sim::run_microbench_sweep(jobs, opt);  // cold: fill the cache
+
+  obs::Session::Options oopt;
+  oopt.metrics = true;
+  obs::Session session(oopt);
+  {
+    const obs::ScopedSession scoped(&session);
+    (void)sim::run_microbench_sweep(jobs, opt);
+  }
+  const auto merged = session.metrics().merged();
+  const auto& counters = merged.counters();
+  const auto hits = counters.find("sweep.cache_hits");
+  ASSERT_NE(hits, counters.end());
+  EXPECT_EQ(hits->second, jobs.size());
+}
+
+}  // namespace
+}  // namespace sempe
