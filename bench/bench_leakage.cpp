@@ -9,8 +9,13 @@
 // enumerate the whole 2^3 secret space; djpeg (no settable secret vector)
 // runs once per mode as a smoke point. SEMPE_BENCH_ITERS sets the harness
 // iteration count (default 2), SEMPE_AUDIT_SAMPLES the sample budget
-// (default 8). The points run concurrently through sim/batch_runner.h;
-// output — including --json — is byte-identical for any --threads value.
+// (default 8). SEMPE_STAT_SAMPLES (>= 2) turns on the statistical tier
+// (security/stat_audit.h) with that many samples per secret class and
+// SEMPE_STAT_BUDGET caps the adaptive driver's total sample pairs; the
+// statistical verdicts are reported per mode but do NOT move the exit
+// status — the SeMPE gate stays the exact-equality tier. The points run
+// concurrently through sim/batch_runner.h; output — including --json — is
+// byte-identical for any --threads value.
 #include <cstdio>
 #include <string>
 
@@ -31,6 +36,8 @@ int main(int argc, char** argv) {
   const usize iters = sim::env_usize("SEMPE_BENCH_ITERS", 2);
   security::AuditOptions opt;
   opt.samples = sim::env_usize("SEMPE_AUDIT_SAMPLES", 8);
+  opt.stat_samples = sim::env_usize("SEMPE_STAT_SAMPLES", 0);
+  opt.stat_budget = sim::env_usize("SEMPE_STAT_BUDGET", 0);
 
   std::vector<std::string> specs;
   for (const std::string& name :
@@ -63,6 +70,10 @@ int main(int argc, char** argv) {
         std::fprintf(out, "  %s: OPEN %.2fb [%s]", m.mode.c_str(),
                      m.leaked_bits(), m.open_channels().c_str());
       }
+      if (m.stat_verdict() != security::StatVerdict::kNotRun)
+        std::fprintf(out, " stat=%s(|t|=%.2f)",
+                     security::stat_verdict_name(m.stat_verdict()),
+                     m.stat_max_t() < 0 ? -m.stat_max_t() : m.stat_max_t());
     }
     std::fprintf(out, "  %s\n",
                  pt.results_ok() ? "ok" : "RESULTS MISMATCH");

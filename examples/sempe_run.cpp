@@ -63,7 +63,9 @@ void print_usage(const char* argv0) {
                "       %s --workload=SPEC [--mode=sempe|legacy] "
                "[--variant=secure|cte] [--timeline] [--trace]\n"
                "       %s --audit=SPEC    [--samples=N] [--seed=N] "
-               "[--progress]\n"
+               "[--stat-samples=N]\n"
+               "                          [--stat-budget=N] "
+               "[--confidence=X] [--progress]\n"
                "       %s --lint=SPEC\n"
                "       %s --list-workloads\n"
                "simulating modes also accept --trace-out=FILE "
@@ -157,11 +159,9 @@ int run_workload(const std::string& spec_text, cpu::ExecMode mode,
   return ok ? 0 : 3;
 }
 
-int run_audit(const std::string& spec_text, usize samples, u64 seed,
+int run_audit(const std::string& spec_text, const security::AuditOptions& base,
               const sim::BatchCli& cli) {
-  security::AuditOptions opt;
-  opt.samples = samples;
-  opt.seed = seed;
+  security::AuditOptions opt = base;
   opt.progress = cli.progress;
   // The audit is a one-job sweep through the shared orchestration path,
   // which is what makes --cache-dir / --journal / --shard / --jobs work
@@ -274,9 +274,8 @@ int main(int argc, char** argv) {
   workloads::Variant variant = workloads::Variant::kSecure;
   bool timeline = false, verify = true, trace = false, list = false;
   bool variant_set = false, no_verify_set = false, mode_set = false;
-  usize samples = 8;
-  u64 audit_seed = 1;
-  bool samples_set = false, seed_set = false;
+  security::AuditOptions audit_opt;
+  bool samples_set = false, seed_set = false, stat_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -290,15 +289,27 @@ int main(int argc, char** argv) {
     else if (!std::strncmp(a, "--audit=", 8)) audit = a + 8;
     else if (!std::strncmp(a, "--lint=", 7)) lint = a + 7;
     else if (!std::strncmp(a, "--samples=", 10)) {
-      samples = static_cast<usize>(std::strtoull(a + 10, nullptr, 10));
+      audit_opt.samples =
+          static_cast<usize>(std::strtoull(a + 10, nullptr, 10));
       samples_set = true;
-      if (samples == 0) {
-        std::fprintf(stderr, "--samples must be at least 1\n");
+    } else if (!std::strncmp(a, "--seed=", 7)) {
+      audit_opt.seed = std::strtoull(a + 7, nullptr, 10);
+      seed_set = true;
+    } else if (!std::strncmp(a, "--stat-samples=", 15)) {
+      audit_opt.stat_samples =
+          static_cast<usize>(std::strtoull(a + 15, nullptr, 10));
+      stat_set = true;
+    } else if (!std::strncmp(a, "--stat-budget=", 14)) {
+      audit_opt.stat_budget =
+          static_cast<usize>(std::strtoull(a + 14, nullptr, 10));
+      stat_set = true;
+    } else if (!std::strncmp(a, "--confidence=", 13)) {
+      audit_opt.confidence = std::strtod(a + 13, nullptr);
+      stat_set = true;
+      if (!(audit_opt.confidence > 0.0)) {
+        std::fprintf(stderr, "--confidence must be a positive |t| bound\n");
         return 1;
       }
-    } else if (!std::strncmp(a, "--seed=", 7)) {
-      audit_seed = std::strtoull(a + 7, nullptr, 10);
-      seed_set = true;
     } else if (!std::strcmp(a, "--variant=secure")) {
       variant = workloads::Variant::kSecure;
       variant_set = true;
@@ -353,8 +364,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   // Refuse flags that would otherwise be silently ignored in this mode.
-  if (audit.empty() && (samples_set || seed_set)) {
-    std::fprintf(stderr, "--samples/--seed only apply to --audit\n");
+  if (audit.empty() && (samples_set || seed_set || stat_set)) {
+    std::fprintf(stderr,
+                 "--samples/--seed/--stat-samples/--stat-budget/--confidence "
+                 "only apply to --audit\n");
     return 1;
   }
   if (audit.empty() && sweep_flag != nullptr) {
@@ -417,8 +430,7 @@ int main(int argc, char** argv) {
   int code;
   try {
     if (!lint.empty()) code = run_lint(lint);
-    else if (!audit.empty()) code = run_audit(audit, samples, audit_seed,
-                                              cli);
+    else if (!audit.empty()) code = run_audit(audit, audit_opt, cli);
     else if (!workload.empty())
       code = run_workload(workload, mode, variant, timeline, trace);
     else code = run_assembly(path, mode, timeline, verify, trace);

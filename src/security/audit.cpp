@@ -1,7 +1,9 @@
 #include "security/audit.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "obs/report.h"
@@ -41,6 +43,55 @@ std::string ModeAudit::first_divergence() const {
   return "";
 }
 
+StatVerdict ModeAudit::stat_verdict() const {
+  // Severity order: leak > inconclusive > no-evidence > not-run. One
+  // leaking channel makes the mode a leak; one under-sampled channel
+  // keeps the mode honest about it.
+  StatVerdict worst = StatVerdict::kNotRun;
+  const auto rank = [](StatVerdict v) -> int {
+    switch (v) {
+      case StatVerdict::kLeak: return 3;
+      case StatVerdict::kInconclusive: return 2;
+      case StatVerdict::kNoEvidence: return 1;
+      case StatVerdict::kNotRun: return 0;
+    }
+    return 0;
+  };
+  for (const ChannelVerdict& v : channels)
+    if (rank(v.stat.verdict) > rank(worst)) worst = v.stat.verdict;
+  return worst;
+}
+
+double ModeAudit::stat_max_t() const {
+  double best = 0.0;
+  for (const ChannelVerdict& v : channels)
+    if (std::fabs(v.stat.t) > std::fabs(best)) best = v.stat.t;
+  return best;
+}
+
+double ModeAudit::stat_max_mi_bits() const {
+  double best = 0.0;
+  for (const ChannelVerdict& v : channels)
+    best = std::max(best, v.stat.mi_bits);
+  return best;
+}
+
+std::string ModeAudit::stat_leak_channels() const {
+  std::string out;
+  for (const ChannelVerdict& v : channels) {
+    if (v.stat.verdict != StatVerdict::kLeak) continue;
+    if (!out.empty()) out += ',';
+    out += channel_name(v.channel);
+  }
+  return out;
+}
+
+usize ModeAudit::stat_samples() const {
+  usize n = 0;
+  for (const ChannelVerdict& v : channels) n = std::max(n, v.stat.n_random);
+  return n;
+}
+
 const ModeAudit* WorkloadAudit::mode(const std::string& name) const {
   for (const ModeAudit& m : modes)
     if (m.mode == name) return &m;
@@ -70,12 +121,25 @@ std::string WorkloadAudit::to_string() const {
     }
     os << (m.results_ok ? "; results ok" : "; RESULTS MISMATCH: " + m.mismatch)
        << "\n";
+    if (m.stat_verdict() == StatVerdict::kNotRun) continue;
+    std::ostringstream stat;
+    stat.precision(2);
+    stat << std::fixed << "    stat: " << stat_verdict_name(m.stat_verdict())
+         << " |t|=" << std::fabs(m.stat_max_t())
+         << " mi=" << m.stat_max_mi_bits() << "b";
+    if (!m.stat_leak_channels().empty())
+      stat << " via " << m.stat_leak_channels();
+    stat << " (n=" << m.stat_samples() << "/class)";
+    os << stat.str() << "\n";
   }
   return os.str();
 }
 
 std::vector<u64> sample_secret_masks(usize width, usize samples, u64 seed) {
-  SEMPE_CHECK_MSG(samples >= 1, "audit needs at least one secret sample");
+  if (samples < 1)
+    throw SimError(
+        "audit needs at least one secret sample (--samples=0 sweeps "
+        "nothing)");
   if (width == 0) return {0};
   const u64 all_ones =
       width >= 64 ? ~0ull : ((1ull << width) - 1);
@@ -112,6 +176,10 @@ WorkloadAudit audit_workload(const std::string& spec_text,
                    " secret bits) needs samples >= 2 — a single secret "
                    "vector compares nothing and every channel would pass "
                    "vacuously");
+  if (opt.stat_samples == 1)
+    throw SimError("statistical audit of '" + parsed.name +
+                   "' needs stat_samples >= 2 — one sample per class has "
+                   "no variance to test (use 0 to turn the tier off)");
   audit.masks = sample_secret_masks(audit.secret_width, opt.samples, opt.seed);
 
   struct ModeRun {
@@ -127,19 +195,22 @@ WorkloadAudit audit_workload(const std::string& spec_text,
         {"cte", workloads::Variant::kCte, cpu::ExecMode::kLegacy});
 
   std::vector<ModeAudit> mode_audits(mode_runs.size());
-  std::vector<std::vector<ObservationTrace>> mode_traces(mode_runs.size());
-  for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+  for (usize mi = 0; mi < mode_runs.size(); ++mi)
     mode_audits[mi].mode = mode_runs[mi].name;
-    mode_traces[mi].reserve(audit.masks.size());
-  }
 
-  // Mask-major: each variant is built once per secret vector and reused by
-  // every mode that runs it (legacy and sempe share the secure binary).
   obs::Session* const os = obs::session();
   const obs::TraceSpan sampling_span(os != nullptr ? os->trace() : nullptr,
                                      "audit_sampling");
-  usize sample_index = 0;
-  for (const u64 mask : audit.masks) {
+
+  // Memoized per-mask runner. The simulator is deterministic, so each
+  // distinct secret vector is built and simulated exactly once per mode
+  // and reused by the exact tier, the fixed class, and every repeated
+  // random-class draw (mask-major: legacy and sempe share the secure
+  // binary of a vector).
+  std::map<u64, std::vector<ObservationTrace>> memo;
+  const auto run_mask = [&](u64 mask) -> const std::vector<ObservationTrace>& {
+    const auto it = memo.find(mask);
+    if (it != memo.end()) return it->second;
     const Stopwatch sample_sw;
     workloads::WorkloadSpec s = parsed;
     if (audit.secret_width > 0)
@@ -155,6 +226,7 @@ WorkloadAudit audit_workload(const std::string& spec_text,
       audit.spec = canon.to_string();
     }
 
+    std::vector<ObservationTrace> traces(mode_runs.size());
     for (usize mi = 0; mi < mode_runs.size(); ++mi) {
       const workloads::BuiltWorkload& b =
           mode_runs[mi].variant == workloads::Variant::kCte ? cte : secure;
@@ -164,7 +236,7 @@ WorkloadAudit audit_workload(const std::string& spec_text,
       rc.probe_addr = b.results_addr;
       rc.probe_words = b.num_results;
       const sim::RunResult r = sim::run(b.program, rc);
-      mode_traces[mi].push_back(r.trace);
+      traces[mi] = r.trace;
 
       ModeAudit& ma = mode_audits[mi];
       if (ma.results_ok && r.probed != b.expected_results) {
@@ -175,12 +247,25 @@ WorkloadAudit audit_workload(const std::string& spec_text,
             sim::first_result_mismatch(r.probed, b.expected_results);
       }
     }
-    ++sample_index;
     if (os != nullptr) {
       os->timing().local().hist("audit.sample_ns").record(
           sample_sw.elapsed_ns());
       if (os->metrics_enabled()) os->metrics().local().add("audit.samples");
     }
+    return memo.emplace(mask, std::move(traces)).first->second;
+  };
+
+  // -------------------------------------------------------------------------
+  // Exact tier: trace equality over the sampled secret space.
+  std::vector<std::vector<ObservationTrace>> mode_traces(mode_runs.size());
+  for (usize mi = 0; mi < mode_runs.size(); ++mi)
+    mode_traces[mi].reserve(audit.masks.size());
+  usize sample_index = 0;
+  for (const u64 mask : audit.masks) {
+    const std::vector<ObservationTrace>& traces = run_mask(mask);
+    for (usize mi = 0; mi < mode_runs.size(); ++mi)
+      mode_traces[mi].push_back(traces[mi]);
+    ++sample_index;
     if (opt.progress)
       std::fprintf(stderr, "\raudit %s: sample %zu/%zu%s",
                    parsed.name.c_str(), sample_index, audit.masks.size(),
@@ -204,22 +289,101 @@ WorkloadAudit audit_workload(const std::string& spec_text,
         // Some later trace must differ from the first (one class otherwise).
         for (usize j = 1; j < traces.size(); ++j) {
           if (channel_equal(traces.front(), traces[j], c)) continue;
-          std::ostringstream os;
-          os << "secrets "
-             << workloads::secrets_literal(audit.masks.front(),
-                                           audit.secret_width)
-             << " vs "
-             << workloads::secrets_literal(audit.masks[j],
-                                           audit.secret_width)
-             << ": " << channel_divergence(traces.front(), traces[j], c);
-          v.first_divergence = os.str();
+          std::ostringstream div;
+          div << "secrets "
+              << workloads::secrets_literal(audit.masks.front(),
+                                            audit.secret_width)
+              << " vs "
+              << workloads::secrets_literal(audit.masks[j],
+                                            audit.secret_width)
+              << ": " << channel_divergence(traces.front(), traces[j], c);
+          v.first_divergence = div.str();
           break;
         }
       }
       ma.channels.push_back(v);
     }
-    audit.modes.push_back(std::move(ma));
   }
+
+  // -------------------------------------------------------------------------
+  // Statistical tier: TVLA/dudect fixed-vs-random classes with adaptive
+  // budget allocation (security/stat_audit.h). Skipped when the workload
+  // has no secret dimension — there is nothing to class-split.
+  if (opt.stat_samples > 0 && audit.secret_width > 0) {
+    const u64 all_ones =
+        audit.secret_width >= 64 ? ~0ull : ((1ull << audit.secret_width) - 1);
+    const u64 fixed_mask = 0;  // TVLA's fixed input: the all-zero vector
+    // A distinct deterministic stream from the exact-tier sampler, so the
+    // two tiers never entangle their draws.
+    Rng srng(opt.seed * 0x9E3779B97F4A7C15ull + 0x60bee2bee120fc15ull);
+
+    std::vector<std::vector<ChannelStatTest>> tests(mode_runs.size());
+    for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+      const ObservationTrace& probe = run_mask(fixed_mask)[mi];
+      for (usize ci = 0; ci < kNumChannels; ++ci) {
+        const Channel c = static_cast<Channel>(ci);
+        if (probe.has(c)) tests[mi].emplace_back(c);
+      }
+    }
+
+    const auto add_round = [&](usize mi) {
+      for (usize s = 0; s < opt.stat_samples; ++s) {
+        const ObservationTrace& f = run_mask(fixed_mask)[mi];
+        const u64 rmask = srng.next_u64() & all_ones;
+        const ObservationTrace& r = run_mask(rmask)[mi];
+        for (ChannelStatTest& t : tests[mi]) {
+          t.add(/*fixed_class=*/true, f);
+          t.add(/*fixed_class=*/false, r);
+        }
+        ++audit.stat_pairs;
+      }
+    };
+
+    // Every mode gets one mandatory round; the adaptive driver then
+    // spends the rest of the budget on the mode whose channel test is
+    // hardest to decide: still-inconclusive tests outrank settled ones,
+    // and within a rank the closest distributions (smallest |t| margin,
+    // i.e. largest p-value not already a leak) win. Ties go to the lowest
+    // mode index, keeping the schedule deterministic.
+    for (usize mi = 0; mi < mode_runs.size(); ++mi) add_round(mi);
+    while (audit.stat_pairs + opt.stat_samples <= opt.stat_budget) {
+      usize best_mode = mode_runs.size();
+      int best_rank = 0;
+      double best_margin = 0.0;
+      for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+        for (const ChannelStatTest& t : tests[mi]) {
+          const StatVerdict v = t.result(opt.confidence).verdict;
+          if (v == StatVerdict::kLeak) continue;
+          const int rank = v == StatVerdict::kInconclusive ? 0 : 1;
+          const double margin = t.decision_margin();
+          if (best_mode == mode_runs.size() || rank < best_rank ||
+              (rank == best_rank && margin < best_margin)) {
+            best_mode = mi;
+            best_rank = rank;
+            best_margin = margin;
+          }
+        }
+      }
+      if (best_mode == mode_runs.size()) break;  // every test is a leak
+      add_round(best_mode);
+    }
+
+    usize num_tests = 0;
+    for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+      for (const ChannelStatTest& t : tests[mi]) {
+        ++num_tests;
+        for (ChannelVerdict& v : mode_audits[mi].channels)
+          if (v.channel == t.channel()) v.stat = t.result(opt.confidence);
+      }
+    }
+    if (os != nullptr && os->metrics_enabled()) {
+      os->metrics().local().add("audit.stat_samples", 2 * audit.stat_pairs);
+      os->metrics().local().add("audit.stat_tests", num_tests);
+    }
+  }
+
+  for (usize mi = 0; mi < mode_runs.size(); ++mi)
+    audit.modes.push_back(std::move(mode_audits[mi]));
   return audit;
 }
 

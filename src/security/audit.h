@@ -21,6 +21,7 @@
 
 #include "security/channel.h"
 #include "security/observation.h"
+#include "security/stat_audit.h"
 
 namespace sempe::security {
 
@@ -33,6 +34,17 @@ struct AuditOptions {
   bool include_cte = true;  // audit the CTE binary too, when one exists
   bool progress = false;    // stderr per-sample progress (sempe_run
                             // --audit --progress; never touches stdout)
+
+  // Statistical tier (security/stat_audit.h). Off by default; enabled it
+  // adds TVLA/dudect-style fixed-vs-random verdicts per (mode, channel).
+  usize stat_samples = 0;   // per-class samples per sampling round; 0 =
+                            // tier off; must be >= 2 when on (a single
+                            // sample has no variance to test)
+  usize stat_budget = 0;    // total fixed+random sample-pair budget across
+                            // every mode; 0 = exactly one round per mode.
+                            // The adaptive driver spends the remainder
+                            // where distributions look closest.
+  double confidence = 4.5;  // |t| leak threshold (TVLA's 4.5 sigma)
 };
 
 /// Verdict for one attacker channel of one execution mode.
@@ -42,6 +54,9 @@ struct ChannelVerdict {
   double leaked_bits = 0.0;     // log2(num_classes)
   std::string first_divergence; // "secrets 0b.. vs 0b.. — <detail>"; empty
                                 // when closed
+  ChannelStat stat;             // statistical tier (verdict kNotRun when
+                                // the tier is off or there is no secret
+                                // dimension to class-split)
   bool closed() const { return num_classes <= 1; }
 };
 
@@ -62,6 +77,20 @@ struct ModeAudit {
   std::string open_channels() const;
   /// First open channel's divergence detail ("" when indistinguishable).
   std::string first_divergence() const;
+
+  // Statistical tier summaries (kNotRun everywhere when the tier is off).
+  /// Worst statistical verdict over channels: leak > inconclusive >
+  /// no-evidence > not-run.
+  StatVerdict stat_verdict() const;
+  /// Largest |t| over channels (signed value of that channel's test).
+  double stat_max_t() const;
+  /// Largest plug-in MI estimate over channels, bits.
+  double stat_max_mi_bits() const;
+  /// Channels statistically flagged as leaks, comma-joined ("" if none).
+  std::string stat_leak_channels() const;
+  /// Random-class samples spent on this mode's tests (every channel of a
+  /// mode shares its sampling rounds, so any channel's count works).
+  usize stat_samples() const;
 };
 
 /// The audit of one workload spec across the mode matrix.
@@ -69,6 +98,9 @@ struct WorkloadAudit {
   std::string spec;        // canonical spec, secrets key shown as "swept"
   usize secret_width = 0;  // swept secret bits (0: no secret dimension)
   std::vector<u64> masks;  // the sampled secret vectors
+  usize stat_pairs = 0;    // fixed+random sample pairs the statistical
+                           // tier spent across all modes (0: tier off or
+                           // no secret dimension)
   std::vector<ModeAudit> modes;
 
   /// nullptr when the mode was not audited (e.g. "cte" without a variant).

@@ -1,0 +1,179 @@
+#include "security/stat_audit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sempe::security {
+
+void RunningStats::add(double x) {
+  // Welford: numerically stable and one-pass, so the adaptive driver can
+  // extend a test without revisiting earlier samples.
+  n += 1;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(n);
+  m2 += delta * (x - mean);
+}
+
+double RunningStats::variance() const {
+  return n < 2 ? 0.0 : m2 / static_cast<double>(n - 1);
+}
+
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b) {
+  WelchResult r;
+  if (a.n == 0 || b.n == 0) return r;
+  const double va = a.variance();
+  const double vb = b.variance();
+  const double diff = a.mean - b.mean;
+  const double sa = va / static_cast<double>(a.n);
+  const double sb = vb / static_cast<double>(b.n);
+  const double denom2 = sa + sb;
+  const double pooled = (va + vb) / 2.0;
+  if (denom2 <= 0.0) {
+    // Both classes constant — the deterministic-simulator case. Equal
+    // means are a perfect null (t = 0); differing means are an exact
+    // distinguisher (every sample separates the classes).
+    if (diff == 0.0) return r;
+    r.t = diff > 0.0 ? kTDegenerate : -kTDegenerate;
+    r.effect = kTDegenerate;
+    return r;
+  }
+  r.t = diff / std::sqrt(denom2);
+  // Welch–Satterthwaite. Zero-variance classes contribute nothing to the
+  // denominator; guard n-1 for single-sample classes.
+  double dof_denom = 0.0;
+  if (a.n > 1) dof_denom += sa * sa / static_cast<double>(a.n - 1);
+  if (b.n > 1) dof_denom += sb * sb / static_cast<double>(b.n - 1);
+  r.dof = dof_denom > 0.0 ? denom2 * denom2 / dof_denom : 0.0;
+  r.effect = pooled > 0.0 ? std::fabs(diff) / std::sqrt(pooled) : kTDegenerate;
+  return r;
+}
+
+double plugin_mi_bits(const std::vector<std::vector<u64>>& joint) {
+  u64 total = 0;
+  std::vector<u64> class_sum(joint.size(), 0);
+  usize bins = 0;
+  for (usize c = 0; c < joint.size(); ++c) {
+    bins = bins < joint[c].size() ? joint[c].size() : bins;
+    for (const u64 v : joint[c]) {
+      class_sum[c] += v;
+      total += v;
+    }
+  }
+  if (total == 0) return 0.0;
+  std::vector<u64> bin_sum(bins, 0);
+  for (const auto& row : joint)
+    for (usize b = 0; b < row.size(); ++b) bin_sum[b] += row[b];
+  const double n = static_cast<double>(total);
+  double mi = 0.0;
+  for (usize c = 0; c < joint.size(); ++c) {
+    for (usize b = 0; b < joint[c].size(); ++b) {
+      const u64 v = joint[c][b];
+      if (v == 0) continue;
+      const double p_cb = static_cast<double>(v) / n;
+      const double p_c = static_cast<double>(class_sum[c]) / n;
+      const double p_b = static_cast<double>(bin_sum[b]) / n;
+      mi += p_cb * std::log2(p_cb / (p_c * p_b));
+    }
+  }
+  // The true MI is non-negative; tiny negative values are floating-point
+  // residue of the summation.
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+double mi_leak_threshold(usize classes, usize bins, usize n) {
+  constexpr double kFloorBits = 0.05;
+  constexpr double kBiasMultiple = 3.0;
+  if (n == 0 || classes < 2 || bins < 2) return kFloorBits;
+  // First-order plug-in bias (Miller–Madow): (|C|-1)(|B|-1) / (2 N ln 2).
+  const double bias = static_cast<double>(classes - 1) *
+                      static_cast<double>(bins - 1) /
+                      (2.0 * static_cast<double>(n) * std::log(2.0));
+  const double thresh = kBiasMultiple * bias;
+  return thresh > kFloorBits ? thresh : kFloorBits;
+}
+
+u64 channel_feature(const ObservationTrace& t, Channel c) {
+  switch (c) {
+    case Channel::kTiming:
+      return t.total_cycles;
+    case Channel::kFetch:
+      return ObservationTrace::fnv(t.fetch_hash, t.fetch_count);
+    case Channel::kMemory:
+      return ObservationTrace::fnv(t.mem_hash, t.mem_count);
+    case Channel::kPredictor:
+      return t.predictor_digest;
+    case Channel::kCache:
+      return t.cache_digest;
+  }
+  SEMPE_CHECK_MSG(false, "unknown channel " << static_cast<int>(c));
+  return 0;
+}
+
+double feature_scalar(Channel c, u64 feature) {
+  if (c == Channel::kTiming) return static_cast<double>(feature);
+  return static_cast<double>(feature % kFeatureBuckets);
+}
+
+const char* stat_verdict_name(StatVerdict v) {
+  switch (v) {
+    case StatVerdict::kNotRun: return "not-run";
+    case StatVerdict::kLeak: return "leak";
+    case StatVerdict::kNoEvidence: return "no-evidence";
+    case StatVerdict::kInconclusive: return "inconclusive";
+  }
+  SEMPE_CHECK_MSG(false, "unknown stat verdict " << static_cast<int>(v));
+  return "?";
+}
+
+void ChannelStatTest::add(bool fixed_class, const ObservationTrace& trace) {
+  const u64 feature = channel_feature(trace, channel_);
+  (fixed_class ? fixed_ : random_).add(feature_scalar(channel_, feature));
+  auto& cell = hist_[feature];
+  (fixed_class ? cell.first : cell.second) += 1;
+}
+
+double ChannelStatTest::mi_bits() const {
+  std::vector<std::vector<u64>> joint(2);
+  joint[0].reserve(hist_.size());
+  joint[1].reserve(hist_.size());
+  for (const auto& [feature, counts] : hist_) {
+    (void)feature;
+    joint[0].push_back(counts.first);
+    joint[1].push_back(counts.second);
+  }
+  return plugin_mi_bits(joint);
+}
+
+ChannelStat ChannelStatTest::result(double confidence) const {
+  ChannelStat s;
+  s.n_fixed = fixed_.n;
+  s.n_random = random_.n;
+  if (fixed_.n == 0 || random_.n == 0) {
+    s.verdict = StatVerdict::kInconclusive;
+    return s;
+  }
+  const WelchResult w = welch();
+  s.t = w.t;
+  s.dof = w.dof;
+  s.effect = w.effect;
+  s.mi_bits = mi_bits();
+  const double mi_thresh =
+      mi_leak_threshold(2, hist_.size(), fixed_.n + random_.n);
+  if (std::fabs(s.t) >= confidence || s.mi_bits >= mi_thresh) {
+    s.verdict = StatVerdict::kLeak;
+  } else if (fixed_.n >= kMinNoEvidenceSamples &&
+             random_.n >= kMinNoEvidenceSamples) {
+    s.verdict = StatVerdict::kNoEvidence;
+  } else {
+    s.verdict = StatVerdict::kInconclusive;
+  }
+  return s;
+}
+
+double ChannelStatTest::decision_margin() const {
+  if (fixed_.n == 0 || random_.n == 0) return 0.0;
+  return std::fabs(welch().t);
+}
+
+}  // namespace sempe::security

@@ -621,7 +621,20 @@ std::string leakage_json_impl(const std::string& experiment,
                   m != nullptr ? m->leaked_bits() : 0.0);
       append_kv_s(out, (k + "_channels").c_str(),
                   m != nullptr ? m->open_channels() : "");
+      append_kv_s(out, (k + "_stat_verdict").c_str(),
+                  security::stat_verdict_name(
+                      m != nullptr ? m->stat_verdict()
+                                   : security::StatVerdict::kNotRun));
+      append_kv_f(out, (k + "_stat_t").c_str(),
+                  m != nullptr ? m->stat_max_t() : 0.0);
+      append_kv_f(out, (k + "_stat_mi_bits").c_str(),
+                  m != nullptr ? m->stat_max_mi_bits() : 0.0);
+      append_kv_s(out, (k + "_stat_channels").c_str(),
+                  m != nullptr ? m->stat_leak_channels() : "");
+      append_kv_u64(out, (k + "_stat_samples").c_str(),
+                    m != nullptr ? m->stat_samples() : 0);
     }
+    append_kv_u64(out, "stat_pairs", a.stat_pairs);
     append_kv_s(out, "legacy_divergence",
                 a.mode("legacy") != nullptr
                     ? a.mode("legacy")->first_divergence()

@@ -322,7 +322,7 @@ const std::vector<usize>& djpeg_sizes();
 // stderr) — so a sweep serializes to byte-identical text for any --threads
 // value.
 
-inline constexpr int kResultSchemaVersion = 1;
+inline constexpr int kResultSchemaVersion = 2;
 
 std::string microbench_json(const std::string& experiment,
                             const std::vector<MicrobenchJob>& jobs,

@@ -94,6 +94,13 @@ std::string audit_text(const security::AuditOptions& opt) {
   append_u64(out, "samples", opt.samples);
   append_u64(out, "seed", opt.seed);
   append_u64(out, "include_cte", opt.include_cte ? 1 : 0);
+  append_u64(out, "stat_samples", opt.stat_samples);
+  append_u64(out, "stat_budget", opt.stat_budget);
+  // Hexfloat: lossless, locale-free text for the one f64 knob.
+  char conf[40];
+  std::snprintf(conf, sizeof conf, "confidence=%a", opt.confidence);
+  if (!out.empty()) out += ' ';
+  out += conf;
   return out;
 }
 

@@ -256,8 +256,16 @@ void put_audit(PointWriter& w, const std::string& p,
       w.put_u64(cp + "num_classes", c.num_classes);
       w.put_f64(cp + "leaked_bits", c.leaked_bits);
       w.put_str(cp + "first_divergence", c.first_divergence);
+      w.put_u64(cp + "stat_verdict", static_cast<u64>(c.stat.verdict));
+      w.put_f64(cp + "stat_t", c.stat.t);
+      w.put_f64(cp + "stat_dof", c.stat.dof);
+      w.put_f64(cp + "stat_effect", c.stat.effect);
+      w.put_f64(cp + "stat_mi_bits", c.stat.mi_bits);
+      w.put_u64(cp + "stat_n_fixed", c.stat.n_fixed);
+      w.put_u64(cp + "stat_n_random", c.stat.n_random);
     }
   }
+  w.put_u64(p + "stat_pairs", a.stat_pairs);
 }
 
 security::WorkloadAudit get_audit(const PointReader& r, const std::string& p) {
@@ -284,10 +292,19 @@ security::WorkloadAudit get_audit(const PointReader& r, const std::string& p) {
       c.num_classes = r.get_u64(cp + "num_classes");
       c.leaked_bits = r.get_f64(cp + "leaked_bits");
       c.first_divergence = r.get_str(cp + "first_divergence");
+      c.stat.verdict = static_cast<security::StatVerdict>(checked_enum(
+          r, cp + "stat_verdict", security::kNumStatVerdicts - 1));
+      c.stat.t = r.get_f64(cp + "stat_t");
+      c.stat.dof = r.get_f64(cp + "stat_dof");
+      c.stat.effect = r.get_f64(cp + "stat_effect");
+      c.stat.mi_bits = r.get_f64(cp + "stat_mi_bits");
+      c.stat.n_fixed = r.get_u64(cp + "stat_n_fixed");
+      c.stat.n_random = r.get_u64(cp + "stat_n_random");
       m.channels.push_back(std::move(c));
     }
     a.modes.push_back(std::move(m));
   }
+  a.stat_pairs = r.get_u64(p + "stat_pairs");
   return a;
 }
 

@@ -102,7 +102,7 @@ TEST(GoldenJson, BenchSyntheticSchemaIsPinned) {
   const auto jobs = workload_grid(specs, MicrobenchOptions{});
   const auto points = run_workload_jobs(jobs, 1);
   const std::string json = workload_json("synthetic", jobs, points);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   check_golden("bench_synthetic.json.golden", normalize_points(json));
 }
 
@@ -116,7 +116,7 @@ TEST(GoldenJson, BenchLeakageSchemaIsPinned) {
   const auto jobs = leakage_grid(specs, opt);
   const auto points = run_leakage_jobs(jobs, 1);
   const std::string json = leakage_json("leakage", jobs, points);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   check_golden("bench_leakage.json.golden", normalize_points(json));
 }
 
@@ -130,7 +130,7 @@ TEST(GoldenJson, BenchLintSchemaIsPinned) {
   const auto jobs = lint_grid(specs, opt);
   const auto points = run_lint_jobs(jobs, 1);
   const std::string json = lint_json("lint", jobs, points);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   for (const auto& pt : points)
     EXPECT_TRUE(pt.ok()) << pt.lint.spec << ": " << pt.failure_summary();
   check_golden("bench_lint.json.golden", normalize_points(json));

@@ -196,6 +196,114 @@ TEST(Audit, SingleSampleAuditOfSecretWorkloadIsRejected) {
   EXPECT_NO_THROW(audit_workload("djpeg?pixels=4096&scale=16", opt));
 }
 
+TEST(Audit, ZeroSamplesIsASimErrorNotACheckFailure) {
+  // --samples=0 must surface as a catchable diagnostic (sempe_run --audit
+  // prints it and exits 2), not a process abort — for width-0 workloads
+  // too, where the exact tier would otherwise sweep nothing silently.
+  AuditOptions opt;
+  opt.samples = 0;
+  EXPECT_THROW(
+      audit_workload("synthetic.stream?width=1&iters=1&size=64", opt),
+      SimError);
+  EXPECT_THROW(audit_workload("djpeg?pixels=4096&scale=16", opt), SimError);
+}
+
+// ---------------------------------------------------------------------------
+// The statistical tier end to end (security/stat_audit.h).
+
+TEST(StatAudit, ModexpLegacyIsFlaggedWhileSempeAndCteAreNot) {
+  AuditOptions opt;
+  opt.samples = 8;
+  opt.stat_samples = 32;  // one round reaches kMinNoEvidenceSamples
+  opt.stat_budget = 96;   // exactly one round per mode, no adaptive slack
+  const WorkloadAudit a =
+      audit_workload("crypto.modexp?width=3&iters=1&size=4&bits=8", opt);
+  EXPECT_EQ(a.stat_pairs, 96u);
+
+  const ModeAudit* legacy = a.mode("legacy");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->stat_verdict(), StatVerdict::kLeak);
+  EXPECT_FALSE(legacy->stat_leak_channels().empty());
+  // The timing channel separates secret classes by thousands of cycles;
+  // either the t statistic or the MI estimate must be decisive.
+  bool timing_flagged = false;
+  for (const ChannelVerdict& v : legacy->channels) {
+    EXPECT_EQ(v.stat.n_fixed, 32u) << channel_name(v.channel);
+    EXPECT_EQ(v.stat.n_random, 32u) << channel_name(v.channel);
+    if (v.channel == Channel::kTiming)
+      timing_flagged = v.stat.verdict == StatVerdict::kLeak;
+  }
+  EXPECT_TRUE(timing_flagged);
+
+  for (const char* mode : {"sempe", "cte"}) {
+    const ModeAudit* m = a.mode(mode);
+    ASSERT_NE(m, nullptr) << mode;
+    EXPECT_EQ(m->stat_verdict(), StatVerdict::kNoEvidence) << mode;
+    EXPECT_EQ(m->stat_leak_channels(), "") << mode;
+    EXPECT_EQ(m->stat_samples(), 32u) << mode;
+    EXPECT_DOUBLE_EQ(m->stat_max_t(), 0.0) << mode;
+    EXPECT_DOUBLE_EQ(m->stat_max_mi_bits(), 0.0) << mode;
+  }
+}
+
+TEST(StatAudit, AdaptiveDriverSpendsTheBudgetDeterministically) {
+  // stat_samples=8 rounds under a 80-pair budget: 24 pairs buy the
+  // mandatory round per mode, legacy is flagged leak immediately and
+  // drops out, then the driver feeds the still-inconclusive tests —
+  // sempe (lowest mode index) up to no-evidence, then cte, then ties go
+  // back to sempe. The final per-mode counts are pinned: a change in the
+  // scheduling policy or the estimators shows up here.
+  AuditOptions opt;
+  opt.samples = 8;
+  opt.stat_samples = 8;
+  opt.stat_budget = 80;
+  const WorkloadAudit a =
+      audit_workload("crypto.modexp?width=3&iters=1&size=4&bits=8", opt);
+  EXPECT_EQ(a.stat_pairs, 80u);
+  ASSERT_NE(a.mode("legacy"), nullptr);
+  ASSERT_NE(a.mode("sempe"), nullptr);
+  ASSERT_NE(a.mode("cte"), nullptr);
+  EXPECT_EQ(a.mode("legacy")->stat_samples(), 8u);
+  EXPECT_EQ(a.mode("sempe")->stat_samples(), 40u);
+  EXPECT_EQ(a.mode("cte")->stat_samples(), 32u);
+  EXPECT_EQ(a.mode("sempe")->stat_verdict(), StatVerdict::kNoEvidence);
+  EXPECT_EQ(a.mode("cte")->stat_verdict(), StatVerdict::kNoEvidence);
+
+  // Same options, same audit — bit-identical statistics both times.
+  const WorkloadAudit b =
+      audit_workload("crypto.modexp?width=3&iters=1&size=4&bits=8", opt);
+  for (usize mi = 0; mi < a.modes.size(); ++mi)
+    for (usize ci = 0; ci < a.modes[mi].channels.size(); ++ci)
+      EXPECT_EQ(a.modes[mi].channels[ci].stat, b.modes[mi].channels[ci].stat)
+          << a.modes[mi].mode;
+}
+
+TEST(StatAudit, ZeroWidthWorkloadsSkipTheTier) {
+  // djpeg has no secret dimension: nothing to class-split, so the tier
+  // stays off (kNotRun) rather than fabricating a vacuous verdict.
+  AuditOptions opt;
+  opt.samples = 2;
+  opt.stat_samples = 8;
+  const WorkloadAudit a = audit_workload("djpeg?pixels=4096&scale=16", opt);
+  EXPECT_EQ(a.stat_pairs, 0u);
+  for (const ModeAudit& m : a.modes) {
+    EXPECT_EQ(m.stat_verdict(), StatVerdict::kNotRun) << m.mode;
+    for (const ChannelVerdict& v : m.channels)
+      EXPECT_EQ(v.stat.verdict, StatVerdict::kNotRun) << m.mode;
+  }
+}
+
+TEST(StatAudit, SingleStatSampleIsRejected) {
+  // One sample per class has no variance to test; a silent t=0 would
+  // masquerade as evidence of closure.
+  AuditOptions opt;
+  opt.samples = 4;
+  opt.stat_samples = 1;
+  EXPECT_THROW(
+      audit_workload("synthetic.stream?width=2&iters=1&size=64", opt),
+      SimError);
+}
+
 TEST(Audit, ModeMatrixRespectsCteAvailability) {
   AuditOptions opt;
   opt.samples = 2;
@@ -270,6 +378,34 @@ TEST(LeakageJobs, BatchPathMatchesDirectAuditAndSerializes) {
   EXPECT_NE(j1.find("\"legacy_distinguishable\": 1"), std::string::npos);
   EXPECT_NE(j1.find("\"secret_width\": 2"), std::string::npos);
   EXPECT_EQ(j1.find("\"sempe_distinguishable\": 1"), std::string::npos);
+  // With the tier off, the schema still carries the stat keys, all not-run.
+  EXPECT_NE(j1.find("\"legacy_stat_verdict\": \"not-run\""),
+            std::string::npos);
+  EXPECT_NE(j1.find("\"stat_pairs\": 0"), std::string::npos);
+}
+
+TEST(LeakageJobs, StatisticalVerdictsReachTheJson) {
+  security::AuditOptions opt;
+  opt.samples = 8;
+  opt.stat_samples = 32;
+  opt.stat_budget = 96;
+  const auto jobs = sim::leakage_grid(
+      {"crypto.modexp?width=3&iters=1&size=4&bits=8"}, opt);
+  const auto pts1 = sim::run_leakage_jobs(jobs, 1);
+  const auto pts4 = sim::run_leakage_jobs(jobs, 4);
+  const std::string j1 = sim::leakage_json("leakage", jobs, pts1);
+  EXPECT_EQ(j1, sim::leakage_json("leakage", jobs, pts4));
+  EXPECT_NE(j1.find("\"legacy_stat_verdict\": \"leak\""), std::string::npos)
+      << j1;
+  EXPECT_NE(j1.find("\"sempe_stat_verdict\": \"no-evidence\""),
+            std::string::npos)
+      << j1;
+  EXPECT_NE(j1.find("\"cte_stat_verdict\": \"no-evidence\""),
+            std::string::npos)
+      << j1;
+  EXPECT_NE(j1.find("\"stat_pairs\": 96"), std::string::npos) << j1;
+  EXPECT_NE(j1.find("\"legacy_stat_channels\": \""), std::string::npos);
+  EXPECT_NE(j1.find("\"sempe_stat_samples\": 32"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -146,7 +146,7 @@ TEST(PerfHarness, SchemaCarriesMetaAndPerPointFields) {
   const auto pts = sim::run_perf_jobs(jobs, 2);
   const std::string json = sim::perf_json("perf", jobs, pts);
   for (const char* key :
-       {"\"schema_version\": 1", "\"experiment\": \"perf\"",
+       {"\"schema_version\": 2", "\"experiment\": \"perf\"",
         "\"modes\": \"legacy,sempe,cte\"", "\"results_ok\"",
         "\"baseline_cycles\"", "\"sempe_cycles\"", "\"cte_cycles\"",
         "\"total_instructions\"", "\"wall_ms\"", "\"simulated_mips\"",

@@ -144,6 +144,40 @@ TEST(JobKey, OptionsTheMeasurementIgnoresAreExcluded) {
   EXPECT_NE(sim::job_cache_key(l2, "fp"), sim::job_cache_key(l, "fp"));
 }
 
+TEST(JobKey, StatisticalTierOptionsShapeTheKey) {
+  // Every statistical knob changes the verdicts, so each must miss the
+  // cache rather than replay an audit computed under different settings.
+  sim::LeakageJob base;
+  base.spec = "synthetic.cond_branch?width=2";
+  const std::string k0 = sim::job_cache_key(base, "fp");
+
+  sim::LeakageJob v = base;
+  v.opt.stat_samples = 8;
+  const std::string k_on = sim::job_cache_key(v, "fp");
+  EXPECT_NE(k_on, k0);
+  v.opt.stat_budget = 64;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k_on);
+  v = base;
+  v.opt.confidence = 3.0;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+}
+
+TEST(JobKey, SchemaVersionBumpInvalidatesStaleCacheEntries) {
+  // The schema version is part of the identity hash: entries cached by a
+  // binary with the old point layout live under different keys, so the
+  // new decoder can never be fed an old blob.
+  sim::LeakageJob job;
+  job.spec = "synthetic.cond_branch?width=2";
+  const JobIdentity id = sim::job_identity(job, "fp");
+  EXPECT_EQ(id.schema_version, sim::kResultSchemaVersion);
+  EXPECT_EQ(sim::kResultSchemaVersion, 2);  // this PR's bump
+
+  JobIdentity stale = id;
+  stale.schema_version = 1;  // what a pre-bump binary would have hashed
+  EXPECT_NE(stale.key(), id.key());
+  EXPECT_NE(id.canonical_text().find("schema=2"), std::string::npos);
+}
+
 TEST(JobKey, KeyIsSixteenHexDigits) {
   MicrobenchJob j;
   j.kind = Kind::kOnes;
@@ -230,6 +264,42 @@ TEST(SweepCodec, LeakageRoundTripPreservesTheFullAudit) {
   EXPECT_EQ(sim::encode_point(back), blob);
   // to_string is what sempe_run --audit prints; a cache hit must print
   // the same report a fresh audit would.
+  EXPECT_EQ(back.audit.to_string(), pt.audit.to_string());
+}
+
+TEST(SweepCodec, LeakageRoundTripIsBitExactWithTheStatisticalTier) {
+  // The statistical fields are f64s (t, dof, effect, mi_bits) and must
+  // survive the hexfloat codec bit-exactly: a cache hit has to replay the
+  // same verdicts a fresh audit would compute, down to the last ulp.
+  security::AuditOptions opt;
+  opt.samples = 8;
+  opt.stat_samples = 8;
+  opt.stat_budget = 48;
+  const auto pt = sim::measure_leakage(
+      "crypto.modexp?width=3&iters=1&size=4&bits=8", opt);
+  EXPECT_GT(pt.audit.stat_pairs, 0u);
+
+  const std::string blob = sim::encode_point(pt);
+  const auto back = sim::decode_leakage_point(blob);
+  EXPECT_EQ(sim::encode_point(back), blob);
+  EXPECT_EQ(back.audit.stat_pairs, pt.audit.stat_pairs);
+  ASSERT_EQ(back.audit.modes.size(), pt.audit.modes.size());
+  bool saw_nonzero_t = false;
+  for (usize mi = 0; mi < pt.audit.modes.size(); ++mi) {
+    const auto& m = pt.audit.modes[mi];
+    const auto& bm = back.audit.modes[mi];
+    ASSERT_EQ(bm.channels.size(), m.channels.size()) << m.mode;
+    for (usize ci = 0; ci < m.channels.size(); ++ci) {
+      const security::ChannelStat& s = m.channels[ci].stat;
+      const security::ChannelStat& bs = bm.channels[ci].stat;
+      // operator== on ChannelStat compares the doubles exactly.
+      EXPECT_EQ(bs, s) << m.mode;
+      saw_nonzero_t = saw_nonzero_t || s.t != 0.0;
+    }
+  }
+  // The exactness claim is vacuous unless some statistic is a real
+  // nontrivial double (legacy modexp timing guarantees one).
+  EXPECT_TRUE(saw_nonzero_t);
   EXPECT_EQ(back.audit.to_string(), pt.audit.to_string());
 }
 
