@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> specs;
   for (const std::string& name :
        workloads::WorkloadRegistry::instance().names()) {
+    // The co-residence attack workloads audit through the two-tenant
+    // scheduler and carry the key-recovery gate; bench_tenants owns them.
+    if (name.rfind("attack.", 0) == 0) continue;
     if (name == "djpeg") {
       // No settable secret vector; keep the image small so the smoke point
       // does not dominate the sweep.

@@ -39,10 +39,10 @@ int main() {
     const BuiltDjpeg img2 = make(f, /*seed=*/99);
 
     sim::RunConfig rc;
-    rc.mode = cpu::ExecMode::kLegacy;
+    rc.core.mode = cpu::ExecMode::kLegacy;
     const auto base1 = sim::run(img1.program, rc);
     const auto base2 = sim::run(img2.program, rc);
-    rc.mode = cpu::ExecMode::kSempe;
+    rc.core.mode = cpu::ExecMode::kSempe;
     const auto sempe1 = sim::run(img1.program, rc);
     const auto sempe2 = sim::run(img2.program, rc);
 

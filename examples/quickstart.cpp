@@ -56,7 +56,7 @@ std::string program_text(int secret) {
 security::ObservationTrace observe(int secret, cpu::ExecMode mode) {
   const auto prog = isa::assemble(program_text(secret));
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   const auto r = sim::run(prog, rc);
   std::printf("  secret=%d  %-6s  cycles=%-6llu  result x20=%lld\n", secret,
               mode == cpu::ExecMode::kSempe ? "SeMPE" : "legacy",

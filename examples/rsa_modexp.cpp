@@ -87,9 +87,9 @@ int main() {
   for (u64 key : {key_sparse, key_dense}) {
     const auto prog = build_modexp(key);
     sim::RunConfig rc;
-    rc.mode = cpu::ExecMode::kLegacy;
+    rc.core.mode = cpu::ExecMode::kLegacy;
     const auto legacy = sim::run(prog, rc);
-    rc.mode = cpu::ExecMode::kSempe;
+    rc.core.mode = cpu::ExecMode::kSempe;
     const auto sempe = sim::run(prog, rc);
 
     const u64 expect = host_modexp(kBase, key, kModulus);
@@ -105,7 +105,7 @@ int main() {
   // The attacker's comparison.
   auto trace = [](u64 key, cpu::ExecMode mode) {
     sim::RunConfig rc;
-    rc.mode = mode;
+    rc.core.mode = mode;
     return sim::run(build_modexp(key), rc).trace;
   };
   std::printf("\nlegacy core:  %s\n",

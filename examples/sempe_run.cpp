@@ -131,7 +131,7 @@ int run_workload(const std::string& spec_text, cpu::ExecMode mode,
               w.program.num_instructions(), w.num_results);
 
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.probe_addr = w.results_addr;
   rc.probe_words = w.num_results;
   const auto r = sim::run(w.program, rc);
@@ -236,7 +236,7 @@ int run_assembly(const char* path, cpu::ExecMode mode, bool timeline,
   }
 
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   const auto r = sim::run(prog, rc);
   print_stats(r, mode);
   std::printf("registers:    x4=%lld x5=%lld x6=%lld x20=%lld\n",

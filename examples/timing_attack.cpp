@@ -67,7 +67,7 @@ isa::Program build_modexp_prefix(u64 key, usize bits) {
 
 Cycle time_prefix(u64 key, usize bits, cpu::ExecMode mode) {
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.record_observations = false;
   return sim::run(build_modexp_prefix(key, bits), rc).stats.cycles;
 }

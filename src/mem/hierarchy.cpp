@@ -22,9 +22,33 @@ const char* hier_stat_name(HierStat s) {
   return "";
 }
 
-Cycle Hierarchy::access_l2(Addr addr, bool is_write) {
+TenantStats& Hierarchy::tview(u32 tenant) {
+  SEMPE_CHECK(tenant < tenant_stats_.size());
+  return tenant_stats_[tenant];
+}
+
+void Hierarchy::set_tenants(usize n) {
+  if (n == 0) throw SimError("Hierarchy::set_tenants: need at least 1 tenant");
+  tenant_stats_.assign(n, TenantStats{});
+}
+
+const TenantStats& Hierarchy::tenant_stats(usize tenant) const {
+  SEMPE_CHECK(tenant < tenant_stats_.size());
+  return tenant_stats_[tenant];
+}
+
+void Hierarchy::set_shared_window(Addr lo, Addr hi) {
+  shared_lo_ = lo;
+  shared_hi_ = hi;
+}
+
+Cycle Hierarchy::access_l2(Addr addr, bool is_write, u32 tenant) {
   const CacheAccessResult r = l2_->access(addr, is_write);
+  TenantStats& t = tview(tenant);
+  ++t.l2_accesses;
   if (r.hit) return cfg_.l2_hit_latency;
+  ++t.l2_misses;
+  ++t.dram_accesses;
   bump(HierStat::kDramAccesses);
   if (cfg_.enable_prefetchers) {
     for (Addr p : stream_.observe_miss(addr)) l2_->prefetch_fill(p);
@@ -32,26 +56,42 @@ Cycle Hierarchy::access_l2(Addr addr, bool is_write) {
   return cfg_.l2_hit_latency + cfg_.dram_latency;
 }
 
-Cycle Hierarchy::access_instr(Addr pc) {
+Cycle Hierarchy::access_instr(Addr pc, u32 tenant) {
   bump(HierStat::kInstrAccesses);
-  const CacheAccessResult r = il1_->access(pc, /*is_write=*/false);
+  const Addr tpc = tag(pc, tenant);
+  const CacheAccessResult r = il1_->access(tpc, /*is_write=*/false);
+  TenantStats& t = tview(tenant);
+  ++t.instr_accesses;
+  ++t.il1_accesses;
   if (r.hit) return cfg_.il1_hit_latency;
-  return cfg_.il1_hit_latency + access_l2(pc, false);
+  ++t.il1_misses;
+  return cfg_.il1_hit_latency + access_l2(tpc, false, tenant);
 }
 
-Cycle Hierarchy::access_data(Addr addr, bool is_write, Addr pc) {
+Cycle Hierarchy::access_data(Addr addr, bool is_write, Addr pc, u32 tenant) {
   bump(HierStat::kDataAccesses);
-  const CacheAccessResult r = dl1_->access(addr, is_write);
+  const Addr taddr = tag(addr, tenant);
+  const CacheAccessResult r = dl1_->access(taddr, is_write);
+  {
+    TenantStats& t = tview(tenant);
+    ++t.data_accesses;
+    ++t.dl1_accesses;
+    if (!r.hit) ++t.dl1_misses;
+  }
   Cycle lat = cfg_.dl1_hit_latency;
-  if (!r.hit) lat += access_l2(addr, is_write);
+  if (!r.hit) lat += access_l2(taddr, is_write, tenant);
   if (r.writeback) {
+    ++tview(tenant).writeback_fills;
     bump(HierStat::kWritebackFills);
     // Dirty victim written back into L2; latency is off the critical path
     // (write buffer), but it still perturbs L2 contents.
     l2_->prefetch_fill(r.victim_line);
   }
   if (cfg_.enable_prefetchers && !is_write) {
-    for (Addr p : stride_.observe(pc, addr)) {
+    // The prefetcher trains on tagged PCs and addresses so co-resident
+    // tenants neither share stride-table entries nor prefetch into each
+    // other's tagged lines (identity for tenant 0).
+    for (Addr p : stride_.observe(tag(pc, tenant), taddr)) {
       if (!dl1_->probe(p)) {
         // The prefetch brings the line in through L2 off the critical path.
         if (!l2_->probe(p)) l2_->prefetch_fill(p);
@@ -75,6 +115,7 @@ void Hierarchy::reset_stats() {
   dl1_->reset_stats();
   l2_->reset_stats();
   counters_.fill(0);
+  for (TenantStats& t : tenant_stats_) t = TenantStats{};
 }
 
 StatSet Hierarchy::export_stats() const {

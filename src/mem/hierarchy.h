@@ -8,6 +8,7 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
 #include "mem/cache.h"
 #include "mem/prefetcher.h"
@@ -43,15 +44,58 @@ struct HierarchyConfig {
   StreamPrefetcher::Config stream{};
 };
 
+/// Per-tenant counter view of a shared hierarchy: each demand access is
+/// attributed to the requesting tenant alongside the global counters, so a
+/// co-residence experiment can see how much of the contention each context
+/// caused without a second pass over the caches.
+struct TenantStats {
+  u64 instr_accesses = 0;
+  u64 data_accesses = 0;
+  u64 dram_accesses = 0;
+  u64 writeback_fills = 0;
+  u64 il1_accesses = 0;
+  u64 il1_misses = 0;
+  u64 dl1_accesses = 0;
+  u64 dl1_misses = 0;
+  u64 l2_accesses = 0;
+  u64 l2_misses = 0;
+};
+
+/// Bit position where the tenant id is XOR-folded into tagged addresses:
+/// above every program address, below the cache tag width, so tagging
+/// changes the line's tag but never its set index — co-resident tenants
+/// contend for sets without ever sharing lines.
+inline constexpr unsigned kTenantTagShift = 48;
+
 class Hierarchy {
  public:
   explicit Hierarchy(const HierarchyConfig& cfg = {});
 
   /// Instruction fetch of the line containing pc. Returns total latency.
-  Cycle access_instr(Addr pc);
+  Cycle access_instr(Addr pc, u32 tenant = 0);
 
   /// Data access. pc is the load/store PC (drives the stride prefetcher).
-  Cycle access_data(Addr addr, bool is_write, Addr pc);
+  Cycle access_data(Addr addr, bool is_write, Addr pc, u32 tenant = 0);
+
+  /// Declare the number of co-resident tenants sharing this hierarchy (per
+  /// tenant stat views are sized accordingly). Single-tenant hierarchies
+  /// keep the default of 1 and tenant id 0 everywhere.
+  void set_tenants(usize n);
+  usize num_tenants() const { return tenant_stats_.size(); }
+  const TenantStats& tenant_stats(usize tenant) const;
+
+  /// Addresses in [lo, hi) are shared read-only across tenants and bypass
+  /// the tenant tag — the model of shared pages a flush+reload-style probe
+  /// needs. Empty (lo >= hi) by default: nothing is shared.
+  void set_shared_window(Addr lo, Addr hi);
+
+  /// The address a tenant's access actually presents to the caches:
+  /// identity for tenant 0 and for the shared window, otherwise the tenant
+  /// id XOR-folded in above bit 48 (same set index, disjoint tags).
+  Addr tag(Addr a, u32 tenant) const {
+    if (tenant == 0 || (a >= shared_lo_ && a < shared_hi_)) return a;
+    return a ^ (static_cast<Addr>(tenant) << kTenantTagShift);
+  }
 
   const Cache& il1() const { return *il1_; }
   const Cache& dl1() const { return *dl1_; }
@@ -76,12 +120,17 @@ class Hierarchy {
 
  private:
   /// L2 access shared by both L1s. Returns latency beyond the L1 miss.
-  Cycle access_l2(Addr addr, bool is_write);
+  /// `addr` is already tenant-tagged by the caller.
+  Cycle access_l2(Addr addr, bool is_write, u32 tenant);
 
   void bump(HierStat s) { ++counters_[static_cast<usize>(s)]; }
+  TenantStats& tview(u32 tenant);
 
   HierarchyConfig cfg_;
   std::array<u64, kNumHierStats> counters_{};
+  std::vector<TenantStats> tenant_stats_{TenantStats{}};
+  Addr shared_lo_ = 0;
+  Addr shared_hi_ = 0;
   std::unique_ptr<Cache> il1_;
   std::unique_ptr<Cache> dl1_;
   std::unique_ptr<Cache> l2_;

@@ -12,9 +12,17 @@ using isa::OpClass;
 using isa::Opcode;
 
 Pipeline::Pipeline(cpu::FunctionalCore* core, const PipelineConfig& cfg)
+    : Pipeline(core, cfg, /*shared=*/nullptr, /*tenant=*/0) {}
+
+Pipeline::Pipeline(cpu::FunctionalCore* core, const PipelineConfig& cfg,
+                   mem::Hierarchy* shared, u32 tenant)
     : core_(core),
       cfg_(cfg),
-      hier_(std::make_unique<mem::Hierarchy>(cfg.memory)),
+      owned_hier_(shared != nullptr
+                      ? nullptr
+                      : std::make_unique<mem::Hierarchy>(cfg.memory)),
+      hier_(shared != nullptr ? shared : owned_hier_.get()),
+      tenant_(tenant),
       tage_(cfg.tage),
       ittage_(cfg.ittage),
       btb_(cfg.btb_entries),
@@ -48,7 +56,7 @@ Cycle Pipeline::fetch_of(const DynOp& op) {
   const Addr line =
       op.pc & ~static_cast<Addr>(cfg_.memory.il1.line_bytes - 1);
   if (line != cur_fetch_line_) {
-    const Cycle lat = hier_->access_instr(op.pc);
+    const Cycle lat = hier_->access_instr(op.pc, tenant_);
     cur_fetch_line_ = line;
     // Hits are pipelined; only the latency beyond a hit stalls fetch.
     // checked_sub: a latency below il1_hit_latency (e.g. from a future
@@ -134,7 +142,8 @@ void Pipeline::process_impl(const DynOp& op) {
         ++stats_.store_forwards;
         complete = iss + cfg_.forward_latency;
       } else {
-        const Cycle lat = hier_->access_data(op.mem_addr, false, op.pc);
+        const Cycle lat =
+            hier_->access_data(op.mem_addr, false, op.pc, tenant_);
         if constexpr (kObserve) load_lat_hist_->record(lat);
         complete = iss + cfg_.load_base_latency + lat;
       }
@@ -144,7 +153,7 @@ void Pipeline::process_impl(const DynOp& op) {
       ++stats_.stores;
       iss = store_ports_.alloc(iss);
       iss = issue_slots_.alloc(iss);
-      hier_->access_data(op.mem_addr, true, op.pc);
+      hier_->access_data(op.mem_addr, true, op.pc, tenant_);
       complete = iss + 1;
       break;
     }
@@ -239,12 +248,24 @@ void Pipeline::process_impl(const DynOp& op) {
   if (op.is_halt) {
     stats_.cycles = cm;
     stats_.instructions = processed_;
-    stats_.il1_accesses = hier_->il1().demand_accesses();
-    stats_.il1_misses = hier_->il1().demand_misses();
-    stats_.dl1_accesses = hier_->dl1().demand_accesses();
-    stats_.dl1_misses = hier_->dl1().demand_misses();
-    stats_.l2_accesses = hier_->l2().demand_accesses();
-    stats_.l2_misses = hier_->l2().demand_misses();
+    if (owned_hier_ == nullptr) {
+      // Shared hierarchy: global demand counters mix every tenant's
+      // traffic, so copy this tenant's attributed view instead.
+      const mem::TenantStats& t = hier_->tenant_stats(tenant_);
+      stats_.il1_accesses = t.il1_accesses;
+      stats_.il1_misses = t.il1_misses;
+      stats_.dl1_accesses = t.dl1_accesses;
+      stats_.dl1_misses = t.dl1_misses;
+      stats_.l2_accesses = t.l2_accesses;
+      stats_.l2_misses = t.l2_misses;
+    } else {
+      stats_.il1_accesses = hier_->il1().demand_accesses();
+      stats_.il1_misses = hier_->il1().demand_misses();
+      stats_.dl1_accesses = hier_->dl1().demand_accesses();
+      stats_.dl1_misses = hier_->dl1().demand_misses();
+      stats_.l2_accesses = hier_->l2().demand_accesses();
+      stats_.l2_misses = hier_->l2().demand_misses();
+    }
   }
 }
 
@@ -364,6 +385,30 @@ PipelineStats Pipeline::run() {
   }
   return stats_;
 }
+
+void Pipeline::run_until(Cycle target) {
+  // Same hoisted dispatch as run(), bounded by the commit clock: the
+  // sequence of process_impl calls for a program is identical whether it is
+  // run in one shot or in quanta, which is what makes the N=1 scheduler
+  // path bit-identical to sim::run.
+  if (on_retire) {
+    if (load_lat_hist_ != nullptr) {
+      while (!core_->halted() && last_commit_ < target)
+        process_impl<true, true>(core_->step());
+    } else {
+      while (!core_->halted() && last_commit_ < target)
+        process_impl<true, false>(core_->step());
+    }
+  } else if (load_lat_hist_ != nullptr) {
+    while (!core_->halted() && last_commit_ < target)
+      process_impl<false, true>(core_->step());
+  } else {
+    while (!core_->halted() && last_commit_ < target)
+      process_impl<false, false>(core_->step());
+  }
+}
+
+bool Pipeline::halted() const { return core_->halted(); }
 
 StatSet PipelineStats::export_stats() const {
   StatSet s;

@@ -102,6 +102,13 @@ class Pipeline {
  public:
   Pipeline(cpu::FunctionalCore* core, const PipelineConfig& cfg = {});
 
+  /// Co-residence form: time against `shared` (not owned) with every cache
+  /// access tagged by `tenant`. The cycles/instructions counters stay
+  /// per-pipeline; the cache counters copied into stats() at halt are this
+  /// tenant's view of the shared hierarchy.
+  Pipeline(cpu::FunctionalCore* core, const PipelineConfig& cfg,
+           mem::Hierarchy* shared, u32 tenant);
+
   /// Optional observer invoked for every retired instruction with its
   /// timestamps, in program order.
   std::function<void(const cpu::DynOp&, const OpTimestamps&)> on_retire;
@@ -110,6 +117,14 @@ class Pipeline {
   /// hook is tested once up front: the no-observer sweep path runs a loop
   /// instantiation with the notification statically compiled out.
   PipelineStats run();
+
+  /// Advance until the commit clock reaches `target` or the program halts —
+  /// the scheduler's quantum step. Processes whole instructions, so the
+  /// clock may overshoot the target by the last instruction's commit
+  /// latency; run() is equivalent to run_until(max Cycle).
+  void run_until(Cycle target);
+
+  bool halted() const;
 
   /// Process a single dynamic instruction (exposed for tests).
   void process(const cpu::DynOp& op);
@@ -157,7 +172,9 @@ class Pipeline {
 
   cpu::FunctionalCore* core_;
   PipelineConfig cfg_;
-  std::unique_ptr<mem::Hierarchy> hier_;
+  std::unique_ptr<mem::Hierarchy> owned_hier_;  // null when sharing
+  mem::Hierarchy* hier_;  // owned_hier_.get() or the shared hierarchy
+  u32 tenant_ = 0;
   branch::Tage tage_;
   branch::ItTage ittage_;
   branch::Btb btb_;

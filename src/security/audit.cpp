@@ -121,6 +121,13 @@ std::string WorkloadAudit::to_string() const {
     }
     os << (m.results_ok ? "; results ok" : "; RESULTS MISMATCH: " + m.mismatch)
        << "\n";
+    if (m.attack) {
+      std::ostringstream rec;
+      rec.precision(1);
+      rec << std::fixed << 100.0 * m.recovery_rate();
+      os << "    key recovery: " << m.key_bits_recovered << "/"
+         << m.key_bits_total << " bits (" << rec.str() << "%)\n";
+    }
     if (m.stat_verdict() == StatVerdict::kNotRun) continue;
     std::ostringstream stat;
     stat.precision(2);
@@ -206,45 +213,76 @@ WorkloadAudit audit_workload(const std::string& spec_text,
   // distinct secret vector is built and simulated exactly once per mode
   // and reused by the exact tier, the fixed class, and every repeated
   // random-class draw (mask-major: legacy and sempe share the secure
-  // binary of a vector).
-  std::map<u64, std::vector<ObservationTrace>> memo;
-  const auto run_mask = [&](u64 mask) -> const std::vector<ObservationTrace>& {
+  // binary of a vector). Attack workloads run the full two-tenant
+  // co-residence experiment instead of sim::run; what the tiers judge is
+  // then the ATTACKER's observation trace (its own channels plus the
+  // probe-verdict stream), and each run also yields a guessed key mask.
+  struct MaskRun {
+    std::vector<ObservationTrace> traces;
+    std::vector<u64> guesses;  // per mode; attack workloads only
+  };
+  std::map<u64, MaskRun> memo;
+  const auto run_mask = [&](u64 mask) -> const MaskRun& {
     const auto it = memo.find(mask);
     if (it != memo.end()) return it->second;
     const Stopwatch sample_sw;
     workloads::WorkloadSpec s = parsed;
     if (audit.secret_width > 0)
       s.set("secrets", workloads::secrets_literal(mask, audit.secret_width));
-    const workloads::BuiltWorkload secure =
-        gen.build(s, workloads::Variant::kSecure);
-    workloads::BuiltWorkload cte;
-    if (mode_runs.size() > 2) cte = gen.build(s, workloads::Variant::kCte);
-    if (audit.spec.empty()) {
-      workloads::WorkloadSpec canon =
-          workloads::WorkloadSpec::parse(secure.spec);
-      if (audit.secret_width > 0) canon.set("secrets", "swept");
-      audit.spec = canon.to_string();
-    }
 
-    std::vector<ObservationTrace> traces(mode_runs.size());
-    for (usize mi = 0; mi < mode_runs.size(); ++mi) {
-      const workloads::BuiltWorkload& b =
-          mode_runs[mi].variant == workloads::Variant::kCte ? cte : secure;
-      sim::RunConfig rc;
-      rc.mode = mode_runs[mi].mode;
-      rc.record_observations = true;
-      rc.probe_addr = b.results_addr;
-      rc.probe_words = b.num_results;
-      const sim::RunResult r = sim::run(b.program, rc);
-      traces[mi] = r.trace;
+    MaskRun run;
+    run.traces.resize(mode_runs.size());
+    run.guesses.resize(mode_runs.size(), 0);
+    if (gen.is_attack()) {
+      for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+        const workloads::AttackOutcome out =
+            gen.run_attack(s, mode_runs[mi].variant, mode_runs[mi].mode);
+        if (audit.spec.empty()) {
+          workloads::WorkloadSpec canon = workloads::WorkloadSpec::parse(out.spec);
+          if (audit.secret_width > 0) canon.set("secrets", "swept");
+          audit.spec = canon.to_string();
+        }
+        run.traces[mi] = out.attacker_view;
+        run.guesses[mi] = out.guessed_mask;
+        ModeAudit& ma = mode_audits[mi];
+        if (ma.results_ok && !out.results_ok) {
+          ma.results_ok = false;
+          ma.mismatch = "secrets " +
+                        workloads::secrets_literal(mask, audit.secret_width) +
+                        ": " + out.mismatch;
+        }
+      }
+    } else {
+      const workloads::BuiltWorkload secure =
+          gen.build(s, workloads::Variant::kSecure);
+      workloads::BuiltWorkload cte;
+      if (mode_runs.size() > 2) cte = gen.build(s, workloads::Variant::kCte);
+      if (audit.spec.empty()) {
+        workloads::WorkloadSpec canon =
+            workloads::WorkloadSpec::parse(secure.spec);
+        if (audit.secret_width > 0) canon.set("secrets", "swept");
+        audit.spec = canon.to_string();
+      }
 
-      ModeAudit& ma = mode_audits[mi];
-      if (ma.results_ok && r.probed != b.expected_results) {
-        ma.results_ok = false;
-        ma.mismatch =
-            "secrets " +
-            workloads::secrets_literal(mask, audit.secret_width) + ": " +
-            sim::first_result_mismatch(r.probed, b.expected_results);
+      for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+        const workloads::BuiltWorkload& b =
+            mode_runs[mi].variant == workloads::Variant::kCte ? cte : secure;
+        sim::RunConfig rc;
+        rc.core.mode = mode_runs[mi].mode;
+        rc.record_observations = true;
+        rc.probe_addr = b.results_addr;
+        rc.probe_words = b.num_results;
+        const sim::RunResult r = sim::run(b.program, rc);
+        run.traces[mi] = r.trace;
+
+        ModeAudit& ma = mode_audits[mi];
+        if (ma.results_ok && r.probed != b.expected_results) {
+          ma.results_ok = false;
+          ma.mismatch =
+              "secrets " +
+              workloads::secrets_literal(mask, audit.secret_width) + ": " +
+              sim::first_result_mismatch(r.probed, b.expected_results);
+        }
       }
     }
     if (os != nullptr) {
@@ -252,7 +290,7 @@ WorkloadAudit audit_workload(const std::string& spec_text,
           sample_sw.elapsed_ns());
       if (os->metrics_enabled()) os->metrics().local().add("audit.samples");
     }
-    return memo.emplace(mask, std::move(traces)).first->second;
+    return memo.emplace(mask, std::move(run)).first->second;
   };
 
   // -------------------------------------------------------------------------
@@ -262,14 +300,36 @@ WorkloadAudit audit_workload(const std::string& spec_text,
     mode_traces[mi].reserve(audit.masks.size());
   usize sample_index = 0;
   for (const u64 mask : audit.masks) {
-    const std::vector<ObservationTrace>& traces = run_mask(mask);
-    for (usize mi = 0; mi < mode_runs.size(); ++mi)
-      mode_traces[mi].push_back(traces[mi]);
+    const MaskRun& mr = run_mask(mask);
+    for (usize mi = 0; mi < mode_runs.size(); ++mi) {
+      mode_traces[mi].push_back(mr.traces[mi]);
+      if (gen.is_attack() && audit.secret_width > 0) {
+        // Score the attacker's guessed mask bit-per-bit against the true
+        // secret vector: the end-to-end key-recovery metric per mode.
+        const u64 all_ones = audit.secret_width >= 64
+                                 ? ~0ull
+                                 : ((1ull << audit.secret_width) - 1);
+        const u64 wrong = (mr.guesses[mi] ^ mask) & all_ones;
+        ModeAudit& ma = mode_audits[mi];
+        ma.attack = true;
+        ma.key_bits_total += audit.secret_width;
+        ma.key_bits_recovered +=
+            audit.secret_width -
+            static_cast<u64>(__builtin_popcountll(wrong));
+      }
+    }
     ++sample_index;
     if (opt.progress)
       std::fprintf(stderr, "\raudit %s: sample %zu/%zu%s",
                    parsed.name.c_str(), sample_index, audit.masks.size(),
                    sample_index == audit.masks.size() ? "\n" : "");
+  }
+  if (gen.is_attack() && os != nullptr && os->metrics_enabled()) {
+    auto& m = os->metrics().local();
+    for (const ModeAudit& ma : mode_audits) {
+      m.add("audit.attack_key_bits_total", ma.key_bits_total);
+      m.add("audit.attack_key_bits_recovered", ma.key_bits_recovered);
+    }
   }
 
   for (usize mi = 0; mi < mode_runs.size(); ++mi) {
@@ -319,7 +379,7 @@ WorkloadAudit audit_workload(const std::string& spec_text,
 
     std::vector<std::vector<ChannelStatTest>> tests(mode_runs.size());
     for (usize mi = 0; mi < mode_runs.size(); ++mi) {
-      const ObservationTrace& probe = run_mask(fixed_mask)[mi];
+      const ObservationTrace& probe = run_mask(fixed_mask).traces[mi];
       for (usize ci = 0; ci < kNumChannels; ++ci) {
         const Channel c = static_cast<Channel>(ci);
         if (probe.has(c)) tests[mi].emplace_back(c);
@@ -328,9 +388,9 @@ WorkloadAudit audit_workload(const std::string& spec_text,
 
     const auto add_round = [&](usize mi) {
       for (usize s = 0; s < opt.stat_samples; ++s) {
-        const ObservationTrace& f = run_mask(fixed_mask)[mi];
+        const ObservationTrace& f = run_mask(fixed_mask).traces[mi];
         const u64 rmask = srng.next_u64() & all_ones;
-        const ObservationTrace& r = run_mask(rmask)[mi];
+        const ObservationTrace& r = run_mask(rmask).traces[mi];
         for (ChannelStatTest& t : tests[mi]) {
           t.add(/*fixed_class=*/true, f);
           t.add(/*fixed_class=*/false, r);

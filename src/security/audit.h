@@ -69,6 +69,20 @@ struct ModeAudit {
   std::string mismatch;     // first result mismatch, when !results_ok
   std::vector<ChannelVerdict> channels;  // one per recorded channel
 
+  // End-to-end key recovery, attack workloads only (workloads/attack.h):
+  // across the sampled secret vectors, how many key bits the co-resident
+  // attacker's guessed masks got right in this mode. Chance is ~50%; the
+  // legacy baseline should sit near 100% and SeMPE/CTE near chance.
+  bool attack = false;        // the mode was driven through run_attack()
+  u64 key_bits_total = 0;     // secret_width × sampled vectors
+  u64 key_bits_recovered = 0; // guessed bits matching the true vector
+  double recovery_rate() const {
+    return key_bits_total == 0
+               ? 0.0
+               : static_cast<double>(key_bits_recovered) /
+                     static_cast<double>(key_bits_total);
+  }
+
   /// True iff every observed channel is closed across the secret sweep.
   bool indistinguishable() const;
   /// The attacker's best channel: max leaked_bits over channels.

@@ -12,6 +12,7 @@ const char* channel_name(Channel c) {
     case Channel::kMemory: return "memory-address";
     case Channel::kPredictor: return "branch-predictor";
     case Channel::kCache: return "cache-state";
+    case Channel::kProbe: return "probe";
   }
   SEMPE_CHECK_MSG(false, "bad Channel value "
                              << static_cast<unsigned>(static_cast<u8>(c)));
@@ -51,6 +52,8 @@ bool channel_equal(const ObservationTrace& a, const ObservationTrace& b,
       return a.predictor_digest == b.predictor_digest;
     case Channel::kCache:
       return a.cache_digest == b.cache_digest;
+    case Channel::kProbe:
+      return a.probe_hash == b.probe_hash && a.probe_count == b.probe_count;
   }
   channel_name(c);  // CHECK-fails on out-of-range values
   std::abort();     // unreachable
@@ -133,6 +136,14 @@ std::string channel_divergence(const ObservationTrace& a,
     case Channel::kCache:
       os << "cache digest 0x" << std::hex << a.cache_digest << " vs 0x"
          << b.cache_digest;
+      break;
+    case Channel::kProbe:
+      if (a.probe_count != b.probe_count) {
+        os << "probe counts " << a.probe_count << " vs " << b.probe_count;
+      } else {
+        os << "probe verdict hashes 0x" << std::hex << a.probe_hash
+           << " vs 0x" << b.probe_hash;
+      }
       break;
   }
   return os.str();

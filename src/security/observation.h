@@ -25,9 +25,10 @@ enum class Channel : u8 {
   kMemory,         // data line address + direction stream
   kPredictor,      // TAGE/ITTAGE/BTB/RAS state after the run
   kCache,          // cache access/miss counter digest
+  kProbe,          // co-resident attacker's probe-latency verdict stream
 };
 
-inline constexpr usize kNumChannels = 5;
+inline constexpr usize kNumChannels = 6;
 
 /// Stable channel label ("timing", "instruction-fetch", ...).
 const char* channel_name(Channel c);
@@ -59,6 +60,12 @@ struct ObservationTrace {
   u64 mem_count = 0;
   u64 predictor_digest = 0;     // TAGE/ITTAGE/BTB/RAS state after the run
   u64 cache_digest = 0;         // cache access/miss counter digest
+  // Probe channel: what a co-resident attacker tenant saw — a rolling hash
+  // of its per-probe hit/miss verdicts plus the probe count. Only attack
+  // workloads (workloads/attack.h) mark this channel; single-tenant runs
+  // never record it.
+  u64 probe_hash = kFnvInit;
+  u64 probe_count = 0;
 
   std::vector<Addr> fetch_prefix;
   std::vector<u64> mem_prefix;  // (line << 1) | is_store

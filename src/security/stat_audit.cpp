@@ -105,6 +105,8 @@ u64 channel_feature(const ObservationTrace& t, Channel c) {
       return t.predictor_digest;
     case Channel::kCache:
       return t.cache_digest;
+    case Channel::kProbe:
+      return ObservationTrace::fnv(t.probe_hash, t.probe_count);
   }
   SEMPE_CHECK_MSG(false, "unknown channel " << static_cast<int>(c));
   return 0;

@@ -317,6 +317,16 @@ SweepRun<PerfPoint> run_perf_sweep(const std::vector<PerfJob>& jobs,
       [](const PerfPoint& p) { return encode_point(p); }, decode_perf_point);
 }
 
+SweepRun<TenantPoint> run_tenant_sweep(const std::vector<TenantJob>& jobs,
+                                       const SweepOptions& opt) {
+  workloads::WorkloadRegistry::instance();  // pre-touch, as above
+  return run_sweep_impl<TenantJob, TenantPoint>(
+      jobs, opt,
+      [](const TenantJob& j) { return measure_tenant(j.spec, j.opt); },
+      [](const TenantPoint& p) { return encode_point(p); },
+      decode_tenant_point);
+}
+
 namespace {
 
 template <typename Point>
@@ -360,6 +370,11 @@ std::vector<LintPoint> run_lint_jobs(const std::vector<LintJob>& jobs,
 std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
                                      usize threads) {
   return sweep_points(run_perf_sweep(jobs, threads_only(threads)));
+}
+
+std::vector<TenantPoint> run_tenant_jobs(const std::vector<TenantJob>& jobs,
+                                         usize threads) {
+  return sweep_points(run_tenant_sweep(jobs, threads_only(threads)));
 }
 
 std::vector<MicrobenchJob> microbench_grid(
@@ -448,6 +463,20 @@ std::vector<PerfJob> perf_grid(const std::vector<std::string>& specs,
   jobs.reserve(specs.size());
   for (const std::string& spec : specs) {
     PerfJob j;
+    j.label = spec;
+    j.spec = spec;
+    j.opt = opt;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<TenantJob> tenant_grid(const std::vector<std::string>& specs,
+                                   const security::AuditOptions& opt) {
+  std::vector<TenantJob> jobs;
+  jobs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    TenantJob j;
     j.label = spec;
     j.spec = spec;
     j.opt = opt;
@@ -635,6 +664,25 @@ std::string leakage_json_impl(const std::string& experiment,
                     m != nullptr ? m->stat_samples() : 0);
     }
     append_kv_u64(out, "stat_pairs", a.stat_pairs);
+    // Attack-audit points (workloads/attack.h) additionally carry the
+    // end-to-end key-recovery metric per mode. Non-attack points keep the
+    // pre-v3 key set, so their pinned golden bytes only move with the
+    // schema line.
+    bool attack_point = false;
+    for (const security::ModeAudit& m : a.modes)
+      attack_point = attack_point || m.attack;
+    if (attack_point) {
+      for (const char* mode : {"legacy", "sempe", "cte"}) {
+        const security::ModeAudit* m = a.mode(mode);
+        std::string k = mode;
+        append_kv_u64(out, (k + "_key_bits_total").c_str(),
+                      m != nullptr ? m->key_bits_total : 0);
+        append_kv_u64(out, (k + "_key_bits_recovered").c_str(),
+                      m != nullptr ? m->key_bits_recovered : 0);
+        append_kv_f(out, (k + "_recovery_rate").c_str(),
+                    m != nullptr ? m->recovery_rate() : 0.0);
+      }
+    }
     append_kv_s(out, "legacy_divergence",
                 a.mode("legacy") != nullptr
                     ? a.mode("legacy")->first_divergence()
@@ -644,6 +692,54 @@ std::string leakage_json_impl(const std::string& experiment,
                     ? a.mode("sempe")->first_divergence()
                     : "",
                 /*last=*/true);
+    out += i + 1 == points.size() ? "    }\n" : "    },\n";
+  }
+  json_footer(out);
+  return out;
+}
+
+std::string tenant_json_impl(const std::string& experiment,
+                             const std::vector<TenantJob>& jobs,
+                             const std::vector<TenantPoint>& points,
+                             const SweepView& view) {
+  std::string out = json_header(experiment, distinct_generators(jobs),
+                                "legacy,sempe,cte", view);
+  for (usize i = 0; i < points.size(); ++i) {
+    const TenantPoint& p = points[i];
+    const security::WorkloadAudit& a = p.audit;
+    begin_point(out, view, i);
+    append_kv_s(out, "label", jobs[view.global(i)].label);
+    append_kv_s(out, "spec", a.spec);
+    append_kv_u64(out, "tenants", jobs[view.global(i)].tenants);
+    append_kv_u64(out, "secret_width", a.secret_width);
+    append_kv_u64(out, "samples", a.masks.size());
+    append_kv_u64(out, "results_ok", p.results_ok() ? 1 : 0);
+    for (const char* mode : {"legacy", "sempe", "cte"}) {
+      const security::ModeAudit* m = a.mode(mode);
+      std::string k = mode;
+      append_kv_u64(out, (k + "_distinguishable").c_str(),
+                    (m != nullptr && !m->indistinguishable()) ? 1 : 0);
+      append_kv_s(out, (k + "_channels").c_str(),
+                  m != nullptr ? m->open_channels() : "");
+      append_kv_s(out, (k + "_stat_verdict").c_str(),
+                  security::stat_verdict_name(
+                      m != nullptr ? m->stat_verdict()
+                                   : security::StatVerdict::kNotRun));
+      append_kv_u64(out, (k + "_key_bits_total").c_str(),
+                    m != nullptr ? m->key_bits_total : 0);
+      append_kv_u64(out, (k + "_key_bits_recovered").c_str(),
+                    m != nullptr ? m->key_bits_recovered : 0);
+      append_kv_f(out, (k + "_recovery_rate").c_str(),
+                  m != nullptr ? m->recovery_rate() : 0.0);
+    }
+    // The greppable acceptance-gate flags: the legacy baseline recovers
+    // >= 90% of the key while the protected modes give the attacker no
+    // evidence (exact tier clean, or stat tier no-evidence).
+    append_kv_u64(out, "legacy_recovery_above_chance",
+                  p.legacy_recovers() ? 1 : 0);
+    append_kv_u64(out, "sempe_at_chance", p.at_chance("sempe") ? 1 : 0);
+    append_kv_u64(out, "cte_at_chance", p.at_chance("cte") ? 1 : 0,
+                  /*last=*/true);
     out += i + 1 == points.size() ? "    }\n" : "    },\n";
   }
   json_footer(out);
@@ -825,6 +921,20 @@ std::string perf_json(const std::string& experiment,
                       const SweepRun<PerfPoint>& run) {
   return perf_json_impl(experiment, jobs, run.points,
                         sweep_view(run.points, run, jobs.size()));
+}
+
+std::string tenant_json(const std::string& experiment,
+                        const std::vector<TenantJob>& jobs,
+                        const std::vector<TenantPoint>& points) {
+  SEMPE_CHECK(jobs.size() == points.size());
+  return tenant_json_impl(experiment, jobs, points, SweepView{});
+}
+
+std::string tenant_json(const std::string& experiment,
+                        const std::vector<TenantJob>& jobs,
+                        const SweepRun<TenantPoint>& run) {
+  return tenant_json_impl(experiment, jobs, run.points,
+                          sweep_view(run.points, run, jobs.size()));
 }
 
 std::string strip_perf_timing(const std::string& json) {

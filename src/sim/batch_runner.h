@@ -207,6 +207,22 @@ struct PerfJob {
   MicrobenchOptions opt{};
 };
 
+/// One co-residence attack spec (workloads/attack.h) audited end-to-end
+/// over the secret space (see measure_tenant): the attacker tenant's probe
+/// observations judged by both verdict tiers, plus the per-mode key-bit
+/// recovery rate. `tenants` is the co-residence degree; the attack
+/// workloads schedule exactly 2 contexts (victim + attacker) today, but
+/// the count is part of the job identity so a future N-tenant grid can
+/// never collide with 2-tenant cache entries.
+struct TenantJob {
+  std::string label;  // e.g. "attack.prime_probe/crypto.modexp"
+  std::string spec;   // e.g. "attack.prime_probe?victim=crypto.modexp";
+                      // victim spec, probe knobs, and scheduler quantum
+                      // all travel inside the spec parameters
+  usize tenants = 2;
+  security::AuditOptions opt{};
+};
+
 // ---------------------------------------------------------------------------
 // Sweep orchestration: shard selection + cache/journal resolution + the
 // parallel execution of whatever is left.
@@ -255,6 +271,8 @@ SweepRun<LintPoint> run_lint_sweep(const std::vector<LintJob>& jobs,
                                    const SweepOptions& opt);
 SweepRun<PerfPoint> run_perf_sweep(const std::vector<PerfJob>& jobs,
                                    const SweepOptions& opt);
+SweepRun<TenantPoint> run_tenant_sweep(const std::vector<TenantJob>& jobs,
+                                       const SweepOptions& opt);
 
 /// Map a sweep's points back onto the full job grid: result[g] is the
 /// point of job g, or nullptr when job g was not part of this run
@@ -284,6 +302,8 @@ std::vector<LintPoint> run_lint_jobs(const std::vector<LintJob>& jobs,
                                      usize threads);
 std::vector<PerfPoint> run_perf_jobs(const std::vector<PerfJob>& jobs,
                                      usize threads);
+std::vector<TenantPoint> run_tenant_jobs(const std::vector<TenantJob>& jobs,
+                                         usize threads);
 
 /// Cartesian sweep (kind-major, so a figure's series stay contiguous).
 std::vector<MicrobenchJob> microbench_grid(
@@ -302,6 +322,8 @@ std::vector<LintJob> lint_grid(const std::vector<std::string>& specs,
                                const security::AuditOptions& opt);
 std::vector<PerfJob> perf_grid(const std::vector<std::string>& specs,
                                const MicrobenchOptions& opt);
+std::vector<TenantJob> tenant_grid(const std::vector<std::string>& specs,
+                                   const security::AuditOptions& opt);
 
 /// The representative registry specs bench_perf times: every synthetic
 /// kernel plus every crypto.*/ds.* scenario at the widest sweep setting
@@ -322,7 +344,7 @@ const std::vector<usize>& djpeg_sizes();
 // stderr) — so a sweep serializes to byte-identical text for any --threads
 // value.
 
-inline constexpr int kResultSchemaVersion = 2;
+inline constexpr int kResultSchemaVersion = 3;
 
 std::string microbench_json(const std::string& experiment,
                             const std::vector<MicrobenchJob>& jobs,
@@ -339,6 +361,14 @@ std::string leakage_json(const std::string& experiment,
 std::string lint_json(const std::string& experiment,
                       const std::vector<LintJob>& jobs,
                       const std::vector<LintPoint>& points);
+
+/// Tenant co-residence results: per-point recovery rates per mode, plus
+/// the greppable gate flags (`legacy_recovery_above_chance`,
+/// `sempe_at_chance`, `cte_at_chance`) CI pins the acceptance criterion
+/// on.
+std::string tenant_json(const std::string& experiment,
+                        const std::vector<TenantJob>& jobs,
+                        const std::vector<TenantPoint>& points);
 
 /// Perf results. Unlike every other document this one intentionally
 /// carries wall-clock fields (wall_ms, simulated_mips, ns_per_instr) —
@@ -378,6 +408,9 @@ std::string lint_json(const std::string& experiment,
 std::string perf_json(const std::string& experiment,
                       const std::vector<PerfJob>& jobs,
                       const SweepRun<PerfPoint>& run);
+std::string tenant_json(const std::string& experiment,
+                        const std::vector<TenantJob>& jobs,
+                        const SweepRun<TenantPoint>& run);
 
 // ---------------------------------------------------------------------------
 // Shared bench CLI.

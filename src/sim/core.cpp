@@ -1,0 +1,47 @@
+#include "sim/core.h"
+
+#include "obs/report.h"
+
+namespace sempe::sim {
+
+Core::Core(const isa::Program* program, const RunConfig& cfg,
+           mem::MainMemory* memory, mem::Hierarchy* shared, u32 tenant)
+    : cfg_(cfg),
+      memory_(memory),
+      core_(program, memory, cfg.core),
+      pipe_(&core_, cfg.pipe, shared, tenant) {
+  obs::Session* const os = obs::session();
+  if (os != nullptr && os->metrics_enabled()) {
+    // Resolved once per run; the hot loop then records through the raw
+    // pointer (compiled in via the kObserve instantiation).
+    pipe_.set_load_latency_hist(
+        &os->metrics().local().hist("sim.load_latency_cycles"));
+  }
+  if (cfg_.record_observations) {
+    recorder_.emplace(cfg_.pipe.memory.dl1.line_bytes);
+    recorder_->attach(core_);
+  }
+}
+
+RunResult Core::finish() {
+  RunResult r;
+  r.stats = pipe_.stats();
+  if (recorder_.has_value()) {
+    recorder_->set_timing(r.stats.cycles);
+    recorder_->set_predictor_digest(pipe_.predictor_digest());
+    recorder_->set_cache_digest(pipe_.memory().state_digest());
+    r.trace = recorder_->trace();
+  } else {
+    // Timing-only sweep path: no recorder exists, the core hooks stayed
+    // empty, and the pipeline's retire notification was compiled out.
+    r.trace.recorded = 0;  // nothing was observed this run
+  }
+  r.instructions = core_.instructions_executed();
+  r.final_state = core_.state();
+  r.jb_high_water = core_.jb_table().high_water();
+  for (usize i = 0; i < cfg_.probe_words; ++i)
+    r.probed.push_back(memory_->read_u64(cfg_.probe_addr + i * 8));
+  return r;
+}
+
+}  // namespace sempe::sim

@@ -1,0 +1,48 @@
+// A steppable simulation context: one tenant's functional core, timing
+// pipeline, and observation recorder, advanced a quantum at a time instead
+// of run-to-halt in one call. sim::run() is now a thin wrapper over a
+// single Core; sim::Scheduler (sim/scheduler.h) interleaves several of
+// them over one shared mem::Hierarchy for co-residence experiments.
+#pragma once
+
+#include <optional>
+
+#include "sim/simulator.h"
+
+namespace sempe::sim {
+
+class Core {
+ public:
+  /// Build the context. `memory` is the tenant's private main memory (not
+  /// owned). With `shared` null the pipeline owns a private hierarchy —
+  /// the classic single-program machine; otherwise every cache access goes
+  /// to `shared`, tagged with `tenant` (mem::Hierarchy::tag).
+  Core(const isa::Program* program, const RunConfig& cfg,
+       mem::MainMemory* memory, mem::Hierarchy* shared = nullptr,
+       u32 tenant = 0);
+
+  bool halted() const { return pipe_.halted(); }
+  /// The tenant-local commit clock (cycles of this pipeline).
+  Cycle now() const { return pipe_.now(); }
+
+  /// Advance until the commit clock reaches `target` or the program halts.
+  void advance_until(Cycle target) { pipe_.run_until(target); }
+  void run_to_halt() { pipe_.run(); }
+
+  /// Collect the run's results; call once, after halted(). Identical field
+  /// set and derivation to what the monolithic sim::run() produced.
+  RunResult finish();
+
+  cpu::FunctionalCore& functional() { return core_; }
+  pipeline::Pipeline& pipe() { return pipe_; }
+  mem::MainMemory& memory() { return *memory_; }
+
+ private:
+  RunConfig cfg_;
+  mem::MainMemory* memory_;
+  cpu::FunctionalCore core_;
+  pipeline::Pipeline pipe_;
+  std::optional<security::ObservationRecorder> recorder_;
+};
+
+}  // namespace sempe::sim

@@ -16,7 +16,7 @@ RunResult run_built(const isa::Program& program, cpu::ExecMode mode,
                     const MicrobenchOptions& opt = {}, Addr probe_addr = 0,
                     usize probe_words = 0) {
   RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.record_observations = false;  // timing only; observation runs are tests
   rc.core.snapshot_model = opt.snapshot_model;
   rc.pipe.spm_bytes_per_cycle = opt.spm_bytes_per_cycle;
@@ -169,6 +169,17 @@ WorkloadPoint measure_workload(const std::string& spec,
 LeakagePoint measure_leakage(const std::string& spec,
                              const security::AuditOptions& opt) {
   LeakagePoint pt;
+  pt.audit = security::audit_workload(spec, opt);
+  return pt;
+}
+
+TenantPoint measure_tenant(const std::string& spec,
+                           const security::AuditOptions& opt) {
+  const workloads::WorkloadSpec parsed = workloads::WorkloadSpec::parse(spec);
+  if (!workloads::WorkloadRegistry::instance().resolve(parsed.name).is_attack())
+    throw SimError("tenant sweep requires an attack.* workload, got '" +
+                   spec + "'");
+  TenantPoint pt;
   pt.audit = security::audit_workload(spec, opt);
   return pt;
 }

@@ -156,6 +156,48 @@ struct LeakagePoint {
 LeakagePoint measure_leakage(const std::string& spec,
                              const security::AuditOptions& opt = {});
 
+/// One co-residence attack spec (attack.prime_probe / attack.flush_reload,
+/// workloads/attack.h) audited end-to-end: per mode, the full two-tenant
+/// experiment runs over the sampled secret space, the attacker's
+/// observation trace feeds both verdict tiers, and its guessed masks are
+/// scored into the key-bit recovery rate.
+struct TenantPoint {
+  security::WorkloadAudit audit;
+
+  /// Fraction of the victim's key bits the attacker guessed right in
+  /// `mode` (0.0 when the mode was not run). Chance is ~0.5.
+  double recovery_rate(const std::string& mode) const {
+    const security::ModeAudit* m = audit.mode(mode);
+    return m == nullptr ? 0.0 : m->recovery_rate();
+  }
+  /// The acceptance criterion's "at chance" notion for a protected mode:
+  /// the exact tier saw no distinguishable channel, or the statistical
+  /// tier (when it ran) found no evidence of a leak.
+  bool at_chance(const std::string& mode) const {
+    const security::ModeAudit* m = audit.mode(mode);
+    if (m == nullptr) return true;  // mode absent: nothing leaked
+    return m->indistinguishable() ||
+           m->stat_verdict() == security::StatVerdict::kNoEvidence;
+  }
+  /// The vulnerable-baseline half of the gate: the legacy core leaks the
+  /// key, i.e. recovery is decisively above the 50% chance line.
+  bool legacy_recovers(double min_rate = 0.9) const {
+    return recovery_rate("legacy") >= min_rate;
+  }
+  /// Functional cross-check over every mode and secret sample.
+  bool results_ok() const {
+    for (const security::ModeAudit& m : audit.modes)
+      if (!m.results_ok) return false;
+    return true;
+  }
+};
+
+/// Audit the attack spec `spec` over `opt.samples` secret vectors via the
+/// two-tenant co-residence path. Throws SimError when `spec` does not
+/// name an attack.* workload.
+TenantPoint measure_tenant(const std::string& spec,
+                           const security::AuditOptions& opt = {});
+
 /// One registry-resolved workload spec statically linted (the taint lint,
 /// security/taint_lint.h) AND dynamically audited (security/audit.h), with
 /// the two verdicts cross-checked. The gate semantics:

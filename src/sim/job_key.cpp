@@ -172,4 +172,20 @@ JobIdentity job_identity(const PerfJob& job, const std::string& fingerprint) {
   return id;
 }
 
+JobIdentity job_identity(const TenantJob& job, const std::string& fingerprint) {
+  // The attack spec carries the victim sub-spec, the probe-shape knobs,
+  // and the scheduler quantum as ordinary parameters, so canonicalization
+  // makes the key sensitive to all of them; the co-residence degree is a
+  // machine coordinate of its own.
+  JobIdentity id;
+  id.family = kTenantFamily;
+  id.spec = canonical_spec_key(job.spec);
+  id.machine = "tenants=" + std::to_string(job.tenants);
+  const std::string audit = audit_text(job.opt);
+  if (!audit.empty()) id.machine += " " + audit;
+  id.modes = "legacy,sempe,cte";
+  id.fingerprint = fingerprint;
+  return id;
+}
+
 }  // namespace sempe::sim

@@ -1,0 +1,49 @@
+#include "sim/scheduler.h"
+
+#include "util/check.h"
+
+namespace sempe::sim {
+
+Scheduler::Scheduler(const std::vector<TenantConfig>& tenants,
+                     const SchedulerConfig& cfg)
+    : cfg_(cfg),
+      hier_(tenants.empty() ? mem::HierarchyConfig{}
+                            : tenants.front().run.pipe.memory) {
+  if (tenants.empty())
+    throw SimError("Scheduler: need at least one tenant");
+  if (cfg_.quantum == 0)
+    throw SimError("Scheduler: quantum must be > 0 cycles");
+  hier_.set_tenants(tenants.size());
+  hier_.set_shared_window(cfg_.shared_lo, cfg_.shared_hi);
+  memories_.reserve(tenants.size());
+  cores_.reserve(tenants.size());
+  for (usize t = 0; t < tenants.size(); ++t) {
+    SEMPE_CHECK(tenants[t].program != nullptr);
+    memories_.push_back(std::make_unique<mem::MainMemory>());
+    cores_.push_back(std::make_unique<Core>(tenants[t].program,
+                                            tenants[t].run,
+                                            memories_[t].get(), &hier_,
+                                            static_cast<u32>(t)));
+  }
+}
+
+std::vector<RunResult> Scheduler::run_to_halt() {
+  Cycle epoch = 0;
+  for (;;) {
+    bool all_halted = true;
+    for (const auto& c : cores_) all_halted = all_halted && c->halted();
+    if (all_halted) break;
+    // The epoch clock grows without bound, so every unhalted tenant makes
+    // forward progress each round and the loop terminates iff every
+    // program does.
+    epoch += cfg_.quantum;
+    for (const auto& c : cores_)
+      if (!c->halted()) c->advance_until(epoch);
+  }
+  std::vector<RunResult> results;
+  results.reserve(cores_.size());
+  for (const auto& c : cores_) results.push_back(c->finish());
+  return results;
+}
+
+}  // namespace sempe::sim

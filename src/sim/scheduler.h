@@ -1,0 +1,69 @@
+// Round-robin interleaving of N steppable sim::Core contexts over one
+// shared mem::Hierarchy — the co-residence machine of the paper's threat
+// model. Each tenant keeps a private MainMemory (disjoint address spaces;
+// the caches see tenant-tagged line addresses, so co-residents contend for
+// sets without ever sharing lines), private branch predictors, and a
+// private pipeline clock; only the cache hierarchy is shared.
+//
+// Scheduling model: a global epoch clock advances by `quantum` cycles at a
+// time, and every unhalted tenant (in index order) runs until its local
+// commit clock reaches the epoch boundary. Tenant 0 is special: its
+// addresses are untagged (mem::Hierarchy::tag is the identity), which both
+// makes the N=1 scheduler bit-identical to sim::run() and gives a
+// flush+reload-style attacker a victim whose shared-window lines it can
+// address directly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/core.h"
+
+namespace sempe::sim {
+
+/// One co-resident context: the program plus its full per-tenant run
+/// configuration (mode, core, pipeline). RunConfig::core.mode is
+/// authoritative, so attacker and victim tenants may run different modes.
+struct TenantConfig {
+  const isa::Program* program = nullptr;
+  RunConfig run{};
+};
+
+struct SchedulerConfig {
+  /// Cycles per scheduling quantum; must be > 0. Every tenant advances to
+  /// the same epoch boundary each round, so total interleaving is
+  /// deterministic for a given quantum.
+  Cycle quantum = 2000;
+  /// Shared read-only window [shared_lo, shared_hi): addresses here bypass
+  /// the tenant tag (mem::Hierarchy::set_shared_window). Empty by default.
+  Addr shared_lo = 0;
+  Addr shared_hi = 0;
+};
+
+class Scheduler {
+ public:
+  /// The shared hierarchy is built from tenants[0]'s pipeline memory
+  /// config; co-resident pipelines should agree on cache geometry (the
+  /// line-size and hit-latency constants each pipeline folds into its own
+  /// timing come from its own config).
+  Scheduler(const std::vector<TenantConfig>& tenants,
+            const SchedulerConfig& cfg = {});
+
+  usize num_tenants() const { return cores_.size(); }
+  Core& core(usize tenant) { return *cores_[tenant]; }
+  mem::MainMemory& memory(usize tenant) { return *memories_[tenant]; }
+  mem::Hierarchy& hierarchy() { return hier_; }
+  const SchedulerConfig& config() const { return cfg_; }
+
+  /// Interleave all tenants to completion and collect each context's
+  /// RunResult (index-aligned with the TenantConfig vector).
+  std::vector<RunResult> run_to_halt();
+
+ private:
+  SchedulerConfig cfg_;
+  mem::Hierarchy hier_;
+  std::vector<std::unique_ptr<mem::MainMemory>> memories_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace sempe::sim

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/report.h"
+#include "sim/core.h"
 
 namespace sempe::sim {
 
@@ -40,38 +41,13 @@ RunResult run(const isa::Program& program, const RunConfig& cfg) {
   const obs::TraceSpan span(os != nullptr ? os->trace() : nullptr,
                             "detailed_sim");
   mem::MainMemory& memory = scratch_memory();
-  cpu::CoreConfig core_cfg = cfg.core;
-  core_cfg.mode = cfg.mode;
-  cpu::FunctionalCore core(&program, &memory, core_cfg);
-
-  pipeline::Pipeline pipe(&core, cfg.pipe);
-  if (os != nullptr && os->metrics_enabled()) {
-    // Resolved once per run; the hot loop then records through the raw
-    // pointer (compiled in via the kObserve instantiation).
-    pipe.set_load_latency_hist(
-        &os->metrics().local().hist("sim.load_latency_cycles"));
-  }
-  RunResult r;
-  if (cfg.record_observations) {
-    security::ObservationRecorder recorder(cfg.pipe.memory.dl1.line_bytes);
-    recorder.attach(core);
-    r.stats = pipe.run();
-    recorder.set_timing(r.stats.cycles);
-    recorder.set_predictor_digest(pipe.predictor_digest());
-    recorder.set_cache_digest(pipe.memory().state_digest());
-    r.trace = recorder.trace();
-  } else {
-    // Timing-only sweep path: no recorder exists, the core hooks stay
-    // empty, and the pipeline's retire notification is compiled out
-    // (Pipeline::run dispatches the hook-free loop).
-    r.stats = pipe.run();
-    r.trace.recorded = 0;  // nothing was observed this run
-  }
-  r.instructions = core.instructions_executed();
-  r.final_state = core.state();
-  r.jb_high_water = core.jb_table().high_water();
-  for (usize i = 0; i < cfg.probe_words; ++i)
-    r.probed.push_back(memory.read_u64(cfg.probe_addr + i * 8));
+  // One steppable context over a private hierarchy, run to halt in one
+  // shot — the single-tenant machine is the N=1 point of the co-residence
+  // refactor (sim/core.h), and finish() reproduces the exact field
+  // derivation the monolithic run() used.
+  Core context(&program, cfg, &memory);
+  context.run_to_halt();
+  RunResult r = context.finish();
   if (os != nullptr && os->metrics_enabled()) {
     // Federate the run's cold StatSet exports into this worker's shard.
     // Counters sum and gauges max across runs, so the merged view is
@@ -79,7 +55,7 @@ RunResult run(const isa::Program& program, const RunConfig& cfg) {
     obs::MetricShard& m = os->metrics().local();
     m.add("sim.detailed_runs");
     m.import_stats("pipeline.", r.stats.export_stats());
-    m.import_stats("mem.", pipe.memory().export_stats());
+    m.import_stats("mem.", context.pipe().memory().export_stats());
   }
   return r;
 }

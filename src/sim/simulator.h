@@ -12,8 +12,9 @@
 namespace sempe::sim {
 
 struct RunConfig {
-  cpu::ExecMode mode = cpu::ExecMode::kLegacy;
-  cpu::CoreConfig core{};          // core.mode is overwritten from `mode`
+  // core.mode is the one authoritative execution mode — per-context, so
+  // co-resident tenants (sim/scheduler.h) can run different modes.
+  cpu::CoreConfig core{};
   pipeline::PipelineConfig pipe{};
   bool record_observations = true;
   // Optionally copy simulated-memory words out after the run (for

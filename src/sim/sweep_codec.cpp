@@ -248,6 +248,9 @@ void put_audit(PointWriter& w, const std::string& p,
     w.put_u64(mp + "samples", m.samples);
     w.put_bool(mp + "results_ok", m.results_ok);
     w.put_str(mp + "mismatch", m.mismatch);
+    w.put_bool(mp + "attack", m.attack);
+    w.put_u64(mp + "key_bits_total", m.key_bits_total);
+    w.put_u64(mp + "key_bits_recovered", m.key_bits_recovered);
     w.put_u64(mp + "channels.n", m.channels.size());
     for (usize j = 0; j < m.channels.size(); ++j) {
       const security::ChannelVerdict& c = m.channels[j];
@@ -283,6 +286,9 @@ security::WorkloadAudit get_audit(const PointReader& r, const std::string& p) {
     m.samples = r.get_u64(mp + "samples");
     m.results_ok = r.get_bool(mp + "results_ok");
     m.mismatch = r.get_str(mp + "mismatch");
+    m.attack = r.get_bool(mp + "attack");
+    m.key_bits_total = r.get_u64(mp + "key_bits_total");
+    m.key_bits_recovered = r.get_u64(mp + "key_bits_recovered");
     const usize nc = r.get_u64(mp + "channels.n");
     for (usize j = 0; j < nc; ++j) {
       security::ChannelVerdict c;
@@ -465,6 +471,19 @@ LintPoint decode_lint_point(const std::string& blob) {
   p.audit = get_audit(r, "audit.");
   p.failures = get_string_list(r, "failures.");
   p.warnings = get_string_list(r, "warnings.");
+  return p;
+}
+
+std::string encode_point(const TenantPoint& p) {
+  PointWriter w(kTenantFamily);
+  put_audit(w, "audit.", p.audit);
+  return w.str();
+}
+
+TenantPoint decode_tenant_point(const std::string& blob) {
+  const PointReader r(kTenantFamily, blob);
+  TenantPoint p;
+  p.audit = get_audit(r, "audit.");
   return p;
 }
 

@@ -52,16 +52,40 @@ struct HarnessConfig {
   std::vector<u8> secrets;  // s1..sW (0/1); missing entries default to 0
 };
 
+/// Per-level data layout of a flat-harness build (build_flat_harness):
+/// which lines level w touches, for co-residence attackers that reduce
+/// per-set contention to per-bit guesses (workloads/attack.h).
+struct FlatLevel {
+  Addr input = 0;        // this level's private input copy (0 if none)
+  usize input_bytes = 0;
+  Addr buf = 0;          // this level's private working buffer (0 if none)
+  usize buf_bytes = 0;
+  Addr out_slot = 0;
+};
+
 struct BuiltHarness {
   isa::Program program;
-  Addr results_addr = 0;              // W+1 merged result words
+  Addr results_addr = 0;              // merged result words
   usize num_results = 0;
   std::vector<u64> expected_results;  // host-computed, given the secrets
+  Addr secrets_addr = 0;
+  std::vector<FlatLevel> flat_levels;  // empty for nested builds
 };
 
 /// Wrap `spec` in the Fig. 7 harness. A kCte build requires both emitters
 /// (the unconditional (W+1)-th body uses the natural form).
 BuiltHarness build_harness(const KernelSpec& spec, const HarnessConfig& cfg);
+
+/// The co-residence victim shape: W SEQUENTIAL (non-nested) secure
+/// regions, one per secret bit, each guarding one kernel execution over a
+/// PRIVATE per-level input copy — so in legacy mode the set of cache lines
+/// a run touches encodes the secret vector bit-per-level, which is exactly
+/// what a co-resident prime+probe attacker measures. A constant-time merge
+/// phase commits each level's out_slot to results[w] (W result words; no
+/// unconditional extra level), so results still witness correctness.
+/// kCte recomputes the guard per level from s(w+1) alone.
+BuiltHarness build_flat_harness(const KernelSpec& spec,
+                                const HarnessConfig& cfg);
 
 /// The CTE store-masking idiom every masked kernel uses: dst = guard ?
 /// val : dst against the level guard registers (rGuardMask/rGuardNot).

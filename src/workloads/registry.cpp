@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "workloads/attack.h"
 #include "workloads/djpeg.h"
 #include "workloads/microbench.h"
 #include "workloads/scenarios.h"
@@ -542,6 +543,15 @@ class ScenarioGenerator final : public WorkloadGenerator {
 
 }  // namespace
 
+AttackOutcome WorkloadGenerator::run_attack(const WorkloadSpec& spec,
+                                            Variant variant,
+                                            cpu::ExecMode victim_mode) const {
+  (void)variant;
+  (void)victim_mode;
+  throw SimError("workload '" + spec.name +
+                 "' is not a co-residence attack workload");
+}
+
 security::TaintSeeds WorkloadGenerator::taint_seeds(
     const WorkloadSpec& spec, const isa::Program& program) const {
   if (secret_width(spec) == 0) return security::TaintSeeds::none();
@@ -561,6 +571,7 @@ WorkloadRegistry::WorkloadRegistry() {
     add(std::make_unique<SyntheticGenerator>(kd));
   for (const ScenarioKind kd : all_scenario_kinds())
     add(std::make_unique<ScenarioGenerator>(kd));
+  register_attack_workloads(*this);
 }
 
 WorkloadRegistry& WorkloadRegistry::instance() {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "isa/program.h"
+#include "security/observation.h"
 #include "security/taint_lint.h"
 #include "workloads/harness.h"
 
@@ -61,6 +62,21 @@ struct BuiltWorkload {
   std::vector<u64> expected_results;  // host-computed mirror
 };
 
+/// What a co-residence attack workload (workloads/attack.h) produced for
+/// one (secret vector, victim mode) point: the attacker tenant's
+/// observation trace (its own channels plus the probe-verdict stream), the
+/// secret mask it reduced those observations to, and the victim's own
+/// result check. The leakage audit feeds `attacker_view` through both
+/// verdict tiers and scores `guessed_mask` against the true secrets to get
+/// the end-to-end key-bit recovery rate per mode.
+struct AttackOutcome {
+  std::string spec;  // canonical spec (name + every resolved parameter)
+  security::ObservationTrace attacker_view;
+  u64 guessed_mask = 0;
+  bool results_ok = false;   // victim's merged results matched expectations
+  std::string mismatch;      // first victim result mismatch, "" when ok
+};
+
 /// One accepted parameter of a generator, for `--list-workloads` and the
 /// README catalog: the key, its default as it would appear in a canonical
 /// spec ("0" when the default is derived from other keys), and a short
@@ -94,6 +110,16 @@ class WorkloadGenerator {
   }
   virtual BuiltWorkload build(const WorkloadSpec& spec,
                               Variant variant) const = 0;
+  /// True for co-residence attack workloads (workloads/attack.h): build()
+  /// returns the victim binary alone, and the leakage audit drives the
+  /// two-tenant simulation through run_attack() instead of sim::run().
+  virtual bool is_attack() const { return false; }
+  /// Run the full co-residence experiment for one secret vector: victim
+  /// (built as `variant`, executed in `victim_mode`) and attacker
+  /// interleaved over a shared hierarchy. The default implementation
+  /// throws SimError — only attack generators override it.
+  virtual AttackOutcome run_attack(const WorkloadSpec& spec, Variant variant,
+                                   cpu::ExecMode victim_mode) const;
   /// Where the secret bits of a build of `spec` live in memory — the seed
   /// of the static taint lint (security/taint_lint.h). The default follows
   /// the harness convention: the whole allocation loaded through rSecrets

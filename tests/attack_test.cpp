@@ -52,7 +52,7 @@ isa::Program build_prefix(u64 key, usize bits) {
 
 Cycle time_prefix(u64 key, usize bits, cpu::ExecMode mode) {
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.record_observations = false;
   return sim::run(build_prefix(key, bits), rc).stats.cycles;
 }

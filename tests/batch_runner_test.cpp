@@ -118,7 +118,7 @@ TEST(BatchRunner, JsonOpensWithMetadataHeader) {
   ASSERT_NE(meta_at, std::string::npos);
   ASSERT_NE(points_at, std::string::npos);
   EXPECT_LT(meta_at, points_at);
-  EXPECT_NE(j.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(j.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(j.find("\"experiment\": \"header\""), std::string::npos);
   EXPECT_NE(j.find("\"workload\": \"microbench\""), std::string::npos);
   EXPECT_NE(j.find("\"modes\": \"legacy,sempe,cte,ideal\""),
@@ -170,7 +170,7 @@ TEST(BatchRunner, IdealStandaloneIsWidthPlusOneTimesSingleRun) {
   const auto built = build_microbench(single);
 
   sim::RunConfig rc;
-  rc.mode = cpu::ExecMode::kLegacy;
+  rc.core.mode = cpu::ExecMode::kLegacy;
   rc.record_observations = false;
   rc.core.snapshot_model = opt.snapshot_model;
   rc.pipe.spm_bytes_per_cycle = opt.spm_bytes_per_cycle;

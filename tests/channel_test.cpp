@@ -40,7 +40,7 @@ isa::Program value_leaker(i64 secret) {
 
 ObservationTrace observe(const isa::Program& p, cpu::ExecMode mode) {
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   return sim::run(p, rc).trace;
 }
 

@@ -52,6 +52,8 @@ std::vector<std::string> small_grid(const std::string& name) {
   if (name == "crypto.aes") shrink = "&size=4&rounds=1";
   if (name == "crypto.modexp") shrink = "&size=4&bits=8";
   if (name == "ds.hash_probe") shrink = "&size=8&slots=32";
+  if (name == "attack.prime_probe") shrink = "&size=4&bits=8";
+  if (name == "attack.flush_reload") shrink = "&size=4&bits=8";
 
   // The harness grid: width/secrets corners a skipped level, a partial
   // prefix, and the all-execute case all exercise differently.

@@ -45,7 +45,7 @@ TEST_P(DjpegFormats, ImageContentIndistinguishableUnderSempe) {
   auto obs = [&](u64 seed) {
     const BuiltDjpeg b = build_djpeg(small_cfg(GetParam(), seed));
     sim::RunConfig rc;
-    rc.mode = cpu::ExecMode::kSempe;
+    rc.core.mode = cpu::ExecMode::kSempe;
     return sim::run(b.program, rc).trace;
   };
   const auto t1 = obs(1);
@@ -58,7 +58,7 @@ TEST_P(DjpegFormats, ImageContentLeaksOnLegacyCore) {
   auto obs = [&](u64 seed) {
     const BuiltDjpeg b = build_djpeg(small_cfg(GetParam(), seed));
     sim::RunConfig rc;
-    rc.mode = cpu::ExecMode::kLegacy;
+    rc.core.mode = cpu::ExecMode::kLegacy;
     return sim::run(b.program, rc).trace;
   };
   const auto d = security::compare(obs(1), obs(0xdeadbeef));
@@ -116,7 +116,7 @@ TEST(Djpeg, EpilogueSizesOrderPpmLessThanGifLessThanBmp) {
 TEST(Djpeg, SecureBranchPerBlock) {
   const auto b = build_djpeg(small_cfg(OutputFormat::kPpm));
   sim::RunConfig rc;
-  rc.mode = cpu::ExecMode::kSempe;
+  rc.core.mode = cpu::ExecMode::kSempe;
   rc.record_observations = false;
   const auto r = sim::run(b.program, rc);
   EXPECT_EQ(r.stats.sjmp_executed, b.blocks);
@@ -129,9 +129,9 @@ TEST(Djpeg, SempeOverheadWithinFigure8Band) {
   const auto b = build_djpeg(small_cfg(OutputFormat::kPpm));
   sim::RunConfig rc;
   rc.record_observations = false;
-  rc.mode = cpu::ExecMode::kLegacy;
+  rc.core.mode = cpu::ExecMode::kLegacy;
   const auto base = sim::run(b.program, rc);
-  rc.mode = cpu::ExecMode::kSempe;
+  rc.core.mode = cpu::ExecMode::kSempe;
   const auto sempe = sim::run(b.program, rc);
   const double overhead = static_cast<double>(sempe.stats.cycles) /
                               static_cast<double>(base.stats.cycles) -

@@ -210,7 +210,7 @@ TEST_P(Fuzz, TimingAlsoSecretIndependent) {
   const auto f0 = build_fuzz(seed, std::vector<u8>(regions, 0));
   const auto f1 = build_fuzz(seed, std::vector<u8>(regions, 1));
   sim::RunConfig rc;
-  rc.mode = cpu::ExecMode::kSempe;
+  rc.core.mode = cpu::ExecMode::kSempe;
   rc.record_observations = false;
   const auto c0 = sim::run(f0.program, rc).stats.cycles;
   const auto c1 = sim::run(f1.program, rc).stats.cycles;

@@ -102,7 +102,7 @@ TEST(GoldenJson, BenchSyntheticSchemaIsPinned) {
   const auto jobs = workload_grid(specs, MicrobenchOptions{});
   const auto points = run_workload_jobs(jobs, 1);
   const std::string json = workload_json("synthetic", jobs, points);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   check_golden("bench_synthetic.json.golden", normalize_points(json));
 }
 
@@ -116,7 +116,7 @@ TEST(GoldenJson, BenchLeakageSchemaIsPinned) {
   const auto jobs = leakage_grid(specs, opt);
   const auto points = run_leakage_jobs(jobs, 1);
   const std::string json = leakage_json("leakage", jobs, points);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   check_golden("bench_leakage.json.golden", normalize_points(json));
 }
 
@@ -130,10 +130,28 @@ TEST(GoldenJson, BenchLintSchemaIsPinned) {
   const auto jobs = lint_grid(specs, opt);
   const auto points = run_lint_jobs(jobs, 1);
   const std::string json = lint_json("lint", jobs, points);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   for (const auto& pt : points)
     EXPECT_TRUE(pt.ok()) << pt.lint.spec << ": " << pt.failure_summary();
   check_golden("bench_lint.json.golden", normalize_points(json));
+}
+
+TEST(GoldenJson, BenchTenantsSchemaIsPinned) {
+  security::AuditOptions opt;
+  opt.samples = 2;
+  const std::vector<std::string> specs = {
+      "attack.prime_probe?victim=crypto.modexp&width=2&size=8&bits=8&iters=2",
+  };
+  const auto jobs = tenant_grid(specs, opt);
+  const auto points = run_tenant_jobs(jobs, 1);
+  const std::string json = tenant_json("tenants", jobs, points);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  // The acceptance-gate flags CI greps for are part of the pinned schema.
+  EXPECT_NE(json.find("\"legacy_recovery_above_chance\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sempe_at_chance\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"cte_at_chance\": 1"), std::string::npos);
+  check_golden("bench_tenants.json.golden", normalize_points(json));
 }
 
 TEST(GoldenJson, BenchScenariosByteIdenticalAcrossThreadsAndPinned) {

@@ -110,12 +110,15 @@ TEST(Observation, FunctionalRunsRecordOnlyStreamChannels) {
   EXPECT_FALSE(r.trace.has(Channel::kCache));
 }
 
-TEST(Observation, FullRunsRecordEveryChannel) {
+TEST(Observation, FullRunsRecordEveryChannelExceptProbe) {
   ProgramBuilder pb;
   pb.li(1, 1);
   pb.halt();
+  // The probe channel belongs to a co-resident attacker tenant
+  // (workloads/attack.h); a plain single-tenant run never records it.
   const auto r = sim::run(pb.build());
-  EXPECT_EQ(r.trace.recorded, kAllChannels);
+  EXPECT_EQ(r.trace.recorded, kAllChannels & ~channel_bit(Channel::kProbe));
+  EXPECT_FALSE(r.trace.has(Channel::kProbe));
 }
 
 TEST(Observation, UnrecordedRunHasEmptyRecordedSet) {
@@ -231,6 +234,7 @@ TEST(Observation, DetailNeverEmptyWhenDistinguishable) {
       case Channel::kMemory: b.mem_hash = 1; break;
       case Channel::kPredictor: b.predictor_digest = 1; break;
       case Channel::kCache: b.cache_digest = 1; break;
+      case Channel::kProbe: b.probe_count = 1; break;
     }
     const auto d = compare(a, b);
     EXPECT_TRUE(d.distinguishable);

@@ -75,7 +75,7 @@ TEST(CounterEquivalence, RegistrySweepNamedViewMatchesFixedSlots) {
   for (const cpu::ExecMode mode :
        {cpu::ExecMode::kLegacy, cpu::ExecMode::kSempe}) {
     sim::RunConfig rc;
-    rc.mode = mode;
+    rc.core.mode = mode;
     rc.record_observations = false;
     const sim::RunResult r = sim::run(built.program, rc);
     const StatSet v = r.stats.export_stats();
@@ -146,7 +146,7 @@ TEST(PerfHarness, SchemaCarriesMetaAndPerPointFields) {
   const auto pts = sim::run_perf_jobs(jobs, 2);
   const std::string json = sim::perf_json("perf", jobs, pts);
   for (const char* key :
-       {"\"schema_version\": 2", "\"experiment\": \"perf\"",
+       {"\"schema_version\": 3", "\"experiment\": \"perf\"",
         "\"modes\": \"legacy,sempe,cte\"", "\"results_ok\"",
         "\"baseline_cycles\"", "\"sempe_cycles\"", "\"cte_cycles\"",
         "\"total_instructions\"", "\"wall_ms\"", "\"simulated_mips\"",

@@ -26,7 +26,7 @@ BuiltMicrobench bench_prog() {
 Cycle cycles_with(const isa::Program& p, cpu::ExecMode mode,
                   const pipeline::PipelineConfig& pc) {
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.pipe = pc;
   rc.record_observations = false;
   return sim::run(p, rc).stats.cycles;
@@ -118,7 +118,7 @@ TEST(ResourceSweepFacts, TinyMachineStillCorrect) {
   tiny.alu_units = 1;
   const auto b = bench_prog();
   sim::RunConfig rc;
-  rc.mode = cpu::ExecMode::kSempe;
+  rc.core.mode = cpu::ExecMode::kSempe;
   rc.pipe = tiny;
   rc.probe_addr = b.results_addr;
   rc.probe_words = b.num_results;

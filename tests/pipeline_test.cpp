@@ -18,7 +18,7 @@ PipelineStats run_timed(ProgramBuilder& pb,
                         cpu::ExecMode mode = cpu::ExecMode::kLegacy,
                         PipelineConfig cfg = {}) {
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.pipe = cfg;
   rc.record_observations = false;
   auto prog = pb.build();

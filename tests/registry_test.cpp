@@ -95,6 +95,8 @@ TEST(WorkloadRegistry, TakenRatioNotTruncatedBeforeRangeCheck) {
 
 TEST(WorkloadRegistry, AllBuiltinsRegistered) {
   const std::vector<std::string> expected = {
+      "attack.flush_reload",
+      "attack.prime_probe",
       "crypto.aes",
       "crypto.modexp",
       "djpeg",

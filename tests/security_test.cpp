@@ -58,7 +58,7 @@ isa::Program leaky_prog(i64 secret) {
 
 ObservationTrace observe(const isa::Program& p, cpu::ExecMode mode) {
   sim::RunConfig rc;
-  rc.mode = mode;
+  rc.core.mode = mode;
   rc.record_observations = true;
   return sim::run(p, rc).trace;
 }

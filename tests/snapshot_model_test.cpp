@@ -26,7 +26,7 @@ BuiltMicrobench small_bench() {
 
 sim::RunResult run_model(const BuiltMicrobench& b, SnapshotModel m) {
   sim::RunConfig rc;
-  rc.mode = cpu::ExecMode::kSempe;
+  rc.core.mode = cpu::ExecMode::kSempe;
   rc.core.snapshot_model = m;
   rc.record_observations = false;
   rc.probe_addr = b.results_addr;

@@ -170,12 +170,66 @@ TEST(JobKey, SchemaVersionBumpInvalidatesStaleCacheEntries) {
   job.spec = "synthetic.cond_branch?width=2";
   const JobIdentity id = sim::job_identity(job, "fp");
   EXPECT_EQ(id.schema_version, sim::kResultSchemaVersion);
-  EXPECT_EQ(sim::kResultSchemaVersion, 2);  // this PR's bump
+  EXPECT_EQ(sim::kResultSchemaVersion, 3);  // this PR's bump
 
   JobIdentity stale = id;
-  stale.schema_version = 1;  // what a pre-bump binary would have hashed
+  stale.schema_version = 2;  // what a pre-bump binary would have hashed
   EXPECT_NE(stale.key(), id.key());
-  EXPECT_NE(id.canonical_text().find("schema=2"), std::string::npos);
+  EXPECT_NE(id.canonical_text().find("schema=3"), std::string::npos);
+}
+
+TEST(JobKey, TenantJobKeyCoversEveryExperimentCoordinate) {
+  // The co-residence result depends on the victim sub-spec, the probe
+  // shape, the scheduler quantum, the tenant count, and the audit budget;
+  // each must land in the identity so no two distinct experiments share a
+  // cache entry.
+  sim::TenantJob base;
+  base.spec =
+      "attack.prime_probe?victim=crypto.modexp&width=2&size=8&bits=8"
+      "&iters=2&quantum=2000";
+  const std::string k0 = sim::job_cache_key(base, "fp");
+
+  sim::TenantJob v = base;  // a different victim kernel
+  v.spec =
+      "attack.prime_probe?victim=ds.hash_probe&width=2&size=8&bits=8"
+      "&iters=2&quantum=2000";
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+
+  v = base;  // a different attacker (probe style)
+  v.spec =
+      "attack.flush_reload?victim=crypto.modexp&width=2&size=8&bits=8"
+      "&iters=2&quantum=2000";
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+
+  v = base;  // a different victim shape under the same kernel
+  v.spec =
+      "attack.prime_probe?victim=crypto.modexp&width=2&size=8&bits=16"
+      "&iters=2&quantum=2000";
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+
+  v = base;  // a different scheduler quantum
+  v.spec =
+      "attack.prime_probe?victim=crypto.modexp&width=2&size=8&bits=8"
+      "&iters=2&quantum=1500";
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+
+  v = base;  // a different co-residence degree
+  v.tenants = 3;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+
+  v = base;  // the audit budget shapes the result, like LeakageJob
+  v.opt.samples += 1;
+  EXPECT_NE(sim::job_cache_key(v, "fp"), k0);
+
+  // Labels stay cosmetic and permuted params still share one key.
+  v = base;
+  v.label = "some other label";
+  EXPECT_EQ(sim::job_cache_key(v, "fp"), k0);
+  v = base;
+  v.spec =
+      "attack.prime_probe?quantum=2000&iters=2&bits=8&size=8&width=2"
+      "&victim=crypto.modexp";
+  EXPECT_EQ(sim::job_cache_key(v, "fp"), k0);
 }
 
 TEST(JobKey, KeyIsSixteenHexDigits) {
@@ -303,6 +357,41 @@ TEST(SweepCodec, LeakageRoundTripIsBitExactWithTheStatisticalTier) {
   EXPECT_EQ(back.audit.to_string(), pt.audit.to_string());
 }
 
+TEST(SweepCodec, TenantRoundTripPreservesKeyRecoveryBitExactly) {
+  // The schema-v3 recovery fields must survive the codec bit-exactly —
+  // the counters as decimal u64s and the derived recovery-rate doubles
+  // (leaked through the f64 hexfloat path for every statistic) down to
+  // the last ulp — so a cache hit replays the same gate verdict a fresh
+  // two-tenant run would compute.
+  security::AuditOptions opt;
+  opt.samples = 2;
+  const auto pt = sim::measure_tenant(
+      "attack.prime_probe?victim=crypto.modexp&width=2&size=8&bits=8&iters=2",
+      opt);
+  const security::ModeAudit* legacy = pt.audit.mode("legacy");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_TRUE(legacy->attack);
+  EXPECT_GT(legacy->key_bits_total, 0u);
+
+  const std::string blob = sim::encode_point(pt);
+  const auto back = sim::decode_tenant_point(blob);
+  EXPECT_EQ(sim::encode_point(back), blob);
+  ASSERT_EQ(back.audit.modes.size(), pt.audit.modes.size());
+  for (usize mi = 0; mi < pt.audit.modes.size(); ++mi) {
+    const security::ModeAudit& m = pt.audit.modes[mi];
+    const security::ModeAudit& bm = back.audit.modes[mi];
+    EXPECT_EQ(bm.attack, m.attack) << m.mode;
+    EXPECT_EQ(bm.key_bits_total, m.key_bits_total) << m.mode;
+    EXPECT_EQ(bm.key_bits_recovered, m.key_bits_recovered) << m.mode;
+    EXPECT_EQ(bm.recovery_rate(), m.recovery_rate()) << m.mode;
+  }
+  EXPECT_EQ(back.audit.to_string(), pt.audit.to_string());
+  // A tenant blob must not decode as a leakage point (family header).
+  EXPECT_THROW(sim::decode_leakage_point(blob), SimError);
+  // And the tenant path refuses non-attack workloads outright.
+  EXPECT_THROW(sim::measure_tenant("micro.ones?width=1&iters=1"), SimError);
+}
+
 TEST(SweepCodec, CorruptBlobsThrow) {
   EXPECT_THROW(sim::decode_microbench_point(""), SimError);
   EXPECT_THROW(sim::decode_microbench_point("not a point blob\n"), SimError);
@@ -399,6 +488,31 @@ TEST_F(SweepOrchestrationTest, ResumeAfterKilledJournalIsByteIdentical) {
   const auto replayed = sim::run_microbench_sweep(jobs, opt);
   EXPECT_EQ(replayed.cache.journal_hits, jobs.size());
   EXPECT_EQ(sim::microbench_json("orch", jobs, replayed), fresh);
+}
+
+TEST_F(SweepOrchestrationTest, TenantWarmCacheJsonIsByteIdentical) {
+  // The byte-identity contract extends to the new tenant family: a warm
+  // cache must replay the exact gate flags and recovery rates of the cold
+  // two-tenant run.
+  security::AuditOptions aopt;
+  aopt.samples = 2;
+  const auto jobs = sim::tenant_grid(
+      {"attack.prime_probe?victim=crypto.modexp&width=2&size=8&bits=8"
+       "&iters=2"},
+      aopt);
+  SweepOptions opt;
+  opt.cache_dir = path("cache");
+  const auto cold = sim::run_tenant_sweep(jobs, opt);
+  EXPECT_EQ(cold.cache.misses, jobs.size());
+  const std::string fresh = sim::tenant_json("tenants", jobs, cold);
+  EXPECT_NE(fresh.find("\"legacy_recovery_above_chance\": 1"),
+            std::string::npos);
+  EXPECT_NE(fresh.find("\"sempe_at_chance\": 1"), std::string::npos);
+  EXPECT_NE(fresh.find("\"cte_at_chance\": 1"), std::string::npos);
+
+  const auto warm = sim::run_tenant_sweep(jobs, opt);
+  EXPECT_EQ(warm.cache.hits, jobs.size());
+  EXPECT_EQ(sim::tenant_json("tenants", jobs, warm), fresh);
 }
 
 TEST(SweepShard, PartitionIsExactAndDeterministic) {
